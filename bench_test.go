@@ -1,0 +1,50 @@
+package paratime
+
+// The benchmark harness: one benchmark per experiment in DESIGN.md's
+// index. Each benchmark regenerates its experiment's table (printed with
+// -v via b.Log) and reports the experiment's headline metrics, so
+// `go test -bench=. -benchmem` reproduces every comparative claim of the
+// survey in one run. `go run ./cmd/paratime exp all` prints the same
+// tables standalone.
+
+import (
+	"testing"
+
+	"paratime/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	runner := experiments.All[id]
+	var last *experiments.Result
+	for i := 0; i < b.N; i++ {
+		res, err := runner()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	b.Log("\n" + last.Table.String())
+	for k, v := range last.Metrics {
+		b.ReportMetric(v, k)
+	}
+}
+
+func BenchmarkExp01SoloWCET(b *testing.B)         { benchExperiment(b, "e1") }
+func BenchmarkExp02UnsafeSolo(b *testing.B)       { benchExperiment(b, "e2") }
+func BenchmarkExp03Measurement(b *testing.B)      { benchExperiment(b, "e3") }
+func BenchmarkExp04YanZhang(b *testing.B)         { benchExperiment(b, "e4") }
+func BenchmarkExp05JointScaling(b *testing.B)     { benchExperiment(b, "e5") }
+func BenchmarkExp06Lifetime(b *testing.B)         { benchExperiment(b, "e6") }
+func BenchmarkExp07Bypass(b *testing.B)           { benchExperiment(b, "e7") }
+func BenchmarkExp08PartitionLocking(b *testing.B) { benchExperiment(b, "e8") }
+func BenchmarkExp09Bankization(b *testing.B)      { benchExperiment(b, "e9") }
+func BenchmarkExp10YieldCFG(b *testing.B)         { benchExperiment(b, "e10") }
+func BenchmarkExp11TDMA(b *testing.B)             { benchExperiment(b, "e11") }
+func BenchmarkExp12RoundRobin(b *testing.B)       { benchExperiment(b, "e12") }
+func BenchmarkExp13MBBA(b *testing.B)             { benchExperiment(b, "e13") }
+func BenchmarkExp14CarCore(b *testing.B)          { benchExperiment(b, "e14") }
+func BenchmarkExp15PRET(b *testing.B)             { benchExperiment(b, "e15") }
+func BenchmarkExp16SMTQueues(b *testing.B)        { benchExperiment(b, "e16") }
+func BenchmarkExp17AnomalyFreedom(b *testing.B)   { benchExperiment(b, "e17") }
+func BenchmarkExp18IPETCross(b *testing.B)        { benchExperiment(b, "e18") }

@@ -1,0 +1,156 @@
+// Command paratime is the toolkit's CLI: assemble programs, inspect
+// CFGs, compute WCETs, simulate, and run the survey-reproduction
+// experiments.
+//
+// Usage:
+//
+//	paratime asm  <file.s>          assemble and disassemble
+//	paratime cfg  <file.s>          dump the CFG, loops and bounds
+//	paratime wcet <file.s>          static WCET analysis (default system)
+//	paratime sim  <file.s>          cycle-accurate solo simulation
+//	paratime suite                  analyze + simulate the benchmark suite
+//	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
+//	paratime list                   list experiments
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"paratime"
+	"paratime/internal/cfg"
+	"paratime/internal/experiments"
+	"paratime/internal/flow"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "paratime:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch args[0] {
+	case "asm":
+		return withProg(args, func(p *paratime.Program) error {
+			fmt.Print(p.Disassemble())
+			return nil
+		})
+	case "cfg":
+		return withProg(args, func(p *paratime.Program) error {
+			g, err := cfg.Build(p)
+			if err != nil {
+				return err
+			}
+			if _, _, err := flow.BoundAll(g, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "note:", err)
+			}
+			fmt.Print(g.Dump())
+			return nil
+		})
+	case "wcet":
+		return withProg(args, func(p *paratime.Program) error {
+			a, err := paratime.Analyze(paratime.Task{Name: p.Name, Prog: p}, paratime.DefaultSystem())
+			if err != nil {
+				return err
+			}
+			fmt.Printf("WCET      %d cycles\n", a.WCET)
+			fmt.Printf("classes   %s\n", a.ClassSummary())
+			fmt.Printf("ILP       %d vars, %d constraints, %d nodes\n",
+				a.IPET.Vars, a.IPET.Cons, a.IPET.Nodes)
+			return nil
+		})
+	case "sim":
+		return withProg(args, func(p *paratime.Program) error {
+			sys := paratime.DefaultSystem()
+			s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false,
+				paratime.Task{Name: p.Name, Prog: p})
+			res, err := paratime.Simulate(s, 1_000_000_000)
+			if err != nil {
+				return err
+			}
+			st := res.Stats[0]
+			fmt.Printf("cycles    %d\nretired   %d\nL1I h/m   %d/%d\nL1D h/m   %d/%d\nL2 h/m    %d/%d\n",
+				st.Cycles, st.Retired, st.L1IHits, st.L1IMisses,
+				st.L1DHits, st.L1DMisses, st.L2Hits, st.L2Misses)
+			return nil
+		})
+	case "suite":
+		sys := paratime.DefaultSystem()
+		for _, task := range paratime.Suite() {
+			a, err := paratime.Analyze(task, sys)
+			if err != nil {
+				return err
+			}
+			s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false, task)
+			res, err := paratime.Simulate(s, 1_000_000_000)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s WCET %8d   sim %8d   %s\n",
+				task.Name, a.WCET, res.Cycles(0), a.ClassSummary())
+		}
+		return nil
+	case "exp":
+		if len(args) < 2 {
+			return fmt.Errorf("exp wants an experiment id or 'all'")
+		}
+		ids := args[1:]
+		if args[1] == "all" {
+			ids = experiments.IDs
+		}
+		for _, id := range ids {
+			runner, ok := experiments.All[strings.ToLower(id)]
+			if !ok {
+				return fmt.Errorf("unknown experiment %q (try 'paratime list')", id)
+			}
+			res, err := runner()
+			if err != nil {
+				return err
+			}
+			res.Table.Fprint(os.Stdout)
+			keys := make([]string, 0, len(res.Metrics))
+			for k := range res.Metrics {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Printf("   %s = %g\n", k, res.Metrics[k])
+			}
+			fmt.Println()
+		}
+		return nil
+	case "list":
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return nil
+	default:
+		return usage()
+	}
+}
+
+func withProg(args []string, f func(*paratime.Program) error) error {
+	if len(args) < 2 {
+		return fmt.Errorf("%s wants an assembly file", args[0])
+	}
+	src, err := os.ReadFile(args[1])
+	if err != nil {
+		return err
+	}
+	p, err := paratime.Assemble(args[1], string(src))
+	if err != nil {
+		return err
+	}
+	return f(p)
+}
+
+func usage() error {
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | exp <id>|all | list")
+}

@@ -1,0 +1,39 @@
+// Quickstart: assemble a small task, compute its static WCET, and check
+// the bound against the cycle-accurate simulator.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"paratime"
+)
+
+func main() {
+	prog := paratime.MustAssemble("quickstart", `
+        ; sum of squares of 1..20
+        li   r1, 20
+        li   r2, 0
+loop:   mul  r3, r1, r1
+        add  r2, r2, r3
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`)
+
+	sys := paratime.DefaultSystem()
+	a, err := paratime.Analyze(paratime.Task{Name: "quickstart", Prog: prog}, sys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("static WCET:     %d cycles\n", a.WCET)
+	fmt.Printf("classifications: %s\n", a.ClassSummary())
+
+	s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false,
+		paratime.Task{Name: "quickstart", Prog: prog})
+	res, err := paratime.Simulate(s, 10_000_000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("simulated:       %d cycles (bound holds: %v)\n",
+		res.Cycles(0), a.WCET >= res.Cycles(0))
+}

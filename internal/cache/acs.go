@@ -1,0 +1,286 @@
+package cache
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ACSKind discriminates the abstract cache state flavour.
+type ACSKind uint8
+
+// Abstract state flavours.
+const (
+	Must ACSKind = iota // ages are upper bounds; presence ⇒ guaranteed cached
+	May                 // ages are lower bounds; absence ⇒ guaranteed not cached
+)
+
+// ACS is an abstract cache state: per set, a map from line to abstract
+// age in [0, Ways). For Must states a mapped line is guaranteed resident
+// with age at most the mapped value; for May states a mapped line may be
+// resident with age at least the mapped value, and an unmapped line is
+// guaranteed absent — unless the state is poisoned.
+//
+// Poisoned applies to May states only: after an access whose target set
+// is unknown, any line anywhere may be cached, so absence proves nothing
+// and ALWAYS_MISS classification is disabled.
+type ACS struct {
+	cfg      Config
+	kind     ACSKind
+	sets     []map[LineID]int
+	Poisoned bool
+}
+
+// NewACS returns the initial state: for Must the empty cache contains
+// nothing guaranteed; for May an *empty* map means "nothing can be
+// cached", which is correct at task start (cold or unknown-but-invisible
+// cache: WCET analysis of an isolated task assumes no useful content, and
+// a truly unknown initial state is modelled by poisoning).
+func NewACS(cfg Config, kind ACSKind) *ACS {
+	s := &ACS{cfg: cfg, kind: kind, sets: make([]map[LineID]int, cfg.Sets)}
+	for i := range s.sets {
+		s.sets[i] = map[LineID]int{}
+	}
+	return s
+}
+
+// Clone deep-copies the state.
+func (a *ACS) Clone() *ACS {
+	out := &ACS{cfg: a.cfg, kind: a.kind, sets: make([]map[LineID]int, len(a.sets)), Poisoned: a.Poisoned}
+	for i, m := range a.sets {
+		c := make(map[LineID]int, len(m))
+		for l, age := range m {
+			c[l] = age
+		}
+		out.sets[i] = c
+	}
+	return out
+}
+
+// Equal compares two states (same kind and geometry assumed).
+func (a *ACS) Equal(b *ACS) bool {
+	if a.Poisoned != b.Poisoned {
+		return false
+	}
+	for i := range a.sets {
+		if len(a.sets[i]) != len(b.sets[i]) {
+			return false
+		}
+		for l, age := range a.sets[i] {
+			if bage, ok := b.sets[i][l]; !ok || bage != age {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Contains reports whether the line is mapped (meaning depends on kind).
+func (a *ACS) Contains(l LineID) bool {
+	_, ok := a.sets[a.cfg.SetOf(l)][l]
+	return ok
+}
+
+// Age returns the mapped age, or Ways if absent.
+func (a *ACS) Age(l LineID) int {
+	if age, ok := a.sets[a.cfg.SetOf(l)][l]; ok {
+		return age
+	}
+	return a.cfg.Ways
+}
+
+// Join combines two states flowing into the same program point:
+// Must join keeps lines present in both at their maximum age;
+// May join keeps lines present in either at their minimum age.
+func (a *ACS) Join(b *ACS) *ACS {
+	out := NewACS(a.cfg, a.kind)
+	out.Poisoned = a.Poisoned || b.Poisoned
+	switch a.kind {
+	case Must:
+		for i := range a.sets {
+			for l, age := range a.sets[i] {
+				if bage, ok := b.sets[i][l]; ok {
+					out.sets[i][l] = maxInt(age, bage)
+				}
+			}
+		}
+	case May:
+		for i := range a.sets {
+			for l, age := range a.sets[i] {
+				out.sets[i][l] = age
+			}
+			for l, bage := range b.sets[i] {
+				if age, ok := out.sets[i][l]; !ok || bage < age {
+					out.sets[i][l] = bage
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Access applies the LRU transfer function for a precise access to line l.
+//
+// Must: the accessed line moves to age 0; lines strictly younger than l's
+// previous upper-bound age get one older (they are pushed down); lines
+// reaching Ways are evicted from the state.
+//
+// May: the accessed line moves to age 0; lines whose lower-bound age is
+// strictly below l's previous lower-bound age get one older.
+func (a *ACS) Access(l LineID) {
+	s := a.cfg.SetOf(l)
+	m := a.sets[s]
+	old, ok := m[l]
+	if !ok {
+		old = a.cfg.Ways // treated as "older than everything"
+	}
+	for x, age := range m {
+		if x != l && age < old {
+			if age+1 >= a.cfg.Ways && a.kind == Must {
+				delete(m, x)
+			} else if age+1 >= a.cfg.Ways && a.kind == May {
+				delete(m, x)
+			} else {
+				m[x] = age + 1
+			}
+		}
+	}
+	m[l] = 0
+}
+
+// AccessUncertain applies an access that may or may not happen (used for
+// L2 analysis under an Uncertain cache-access classification, Hardy &
+// Puaut style): the result is the join of accessing and not accessing.
+func (a *ACS) AccessUncertain(l LineID) {
+	upd := a.Clone()
+	upd.Access(l)
+	*a = *a.Join(upd)
+}
+
+// AccessImprecise applies an access known to touch exactly one of the
+// given lines. Must: in every possibly-touched set, every line may be
+// pushed one down (and nothing is guaranteed inserted). May: each
+// candidate line may now be resident at age 0; other ages keep their
+// lower bounds.
+func (a *ACS) AccessImprecise(lines []LineID) {
+	switch a.kind {
+	case Must:
+		touched := map[int]bool{}
+		for _, l := range lines {
+			touched[a.cfg.SetOf(l)] = true
+		}
+		for s := range touched {
+			m := a.sets[s]
+			for x, age := range m {
+				if age+1 >= a.cfg.Ways {
+					delete(m, x)
+				} else {
+					m[x] = age + 1
+				}
+			}
+		}
+	case May:
+		for _, l := range lines {
+			m := a.sets[a.cfg.SetOf(l)]
+			if age, ok := m[l]; !ok || age > 0 {
+				m[l] = 0
+			}
+		}
+	}
+}
+
+// AccessUnknown applies an access to a completely unknown address.
+// Must: every line everywhere may be pushed one down. May: poisoned.
+func (a *ACS) AccessUnknown() {
+	switch a.kind {
+	case Must:
+		for s := range a.sets {
+			m := a.sets[s]
+			for x, age := range m {
+				if age+1 >= a.cfg.Ways {
+					delete(m, x)
+				} else {
+					m[x] = age + 1
+				}
+			}
+		}
+	case May:
+		a.Poisoned = true
+	}
+}
+
+// AgeAll ages every line in every set by n (used to model interference
+// from co-running tasks in shared-cache joint analysis: each conflicting
+// line another task may load pushes ours down by one).
+func (a *ACS) AgeAll(n int) {
+	if n <= 0 {
+		return
+	}
+	for s := range a.sets {
+		m := a.sets[s]
+		for x, age := range m {
+			if age+n >= a.cfg.Ways {
+				delete(m, x)
+			} else {
+				m[x] = age + n
+			}
+		}
+	}
+}
+
+// AgeSet ages every line of one set by n.
+func (a *ACS) AgeSet(s, n int) {
+	if n <= 0 {
+		return
+	}
+	m := a.sets[s]
+	for x, age := range m {
+		if age+n >= a.cfg.Ways {
+			delete(m, x)
+		} else {
+			m[x] = age + n
+		}
+	}
+}
+
+// EvictSet removes every line of one set (direct-mapped conflict
+// modelling: a conflicting task may have replaced the set's content).
+func (a *ACS) EvictSet(s int) {
+	a.sets[s] = map[LineID]int{}
+}
+
+// String renders the state compactly for debugging.
+func (a *ACS) String() string {
+	var sb strings.Builder
+	kind := "must"
+	if a.kind == May {
+		kind = "may"
+	}
+	fmt.Fprintf(&sb, "%s{", kind)
+	for s, m := range a.sets {
+		if len(m) == 0 {
+			continue
+		}
+		lines := make([]LineID, 0, len(m))
+		for l := range m {
+			lines = append(lines, l)
+		}
+		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+		fmt.Fprintf(&sb, " s%d:", s)
+		for _, l := range lines {
+			fmt.Fprintf(&sb, "%d@%d ", l, m[l])
+		}
+	}
+	if a.Poisoned {
+		sb.WriteString(" POISONED")
+	}
+	sb.WriteString("}")
+	return sb.String()
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,462 @@
+package cache
+
+import (
+	"fmt"
+
+	"paratime/internal/cfg"
+	"paratime/internal/flow"
+)
+
+// RefKind discriminates instruction fetches from data accesses.
+type RefKind uint8
+
+// Reference kinds.
+const (
+	Fetch RefKind = iota
+	Load
+	Store
+)
+
+// RefID identifies one reference: a block and its ordinal in that block's
+// reference stream.
+type RefID struct {
+	Block cfg.BlockID
+	Seq   int
+}
+
+// Ref is one memory reference of a block's stream. Exactly one of three
+// precision levels applies: Exact (single address), imprecise (list of
+// candidate addresses), or Unknown.
+type Ref struct {
+	Kind    RefKind
+	InstIdx int // instruction index within the block, for diagnostics
+
+	Exact   bool
+	Addr    uint32   // when Exact
+	Addrs   []uint32 // when imprecise (non-nil, !Exact, !Unknown)
+	Unknown bool
+}
+
+// maxImpreciseAddrs caps enumeration of candidate addresses; larger
+// ranges degrade to Unknown.
+const maxImpreciseAddrs = 8192
+
+// Stream holds the per-block reference sequences of a graph for one
+// cache (instruction or data).
+type Stream struct {
+	Refs map[cfg.BlockID][]Ref
+}
+
+// FetchStream builds the instruction-fetch reference stream: every
+// instruction fetch is an exact reference to its own address.
+func FetchStream(g *cfg.Graph) *Stream {
+	st := &Stream{Refs: map[cfg.BlockID][]Ref{}}
+	for _, b := range g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		refs := make([]Ref, 0, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			refs = append(refs, Ref{Kind: Fetch, InstIdx: i, Exact: true, Addr: b.Addr(i)})
+		}
+		st.Refs[b.ID] = refs
+	}
+	return st
+}
+
+// DataStream builds the data reference stream from the address analysis:
+// one reference per LD/ST instruction.
+func DataStream(g *cfg.Graph, addrs map[flow.RefKey]flow.AddrRange) *Stream {
+	st := &Stream{Refs: map[cfg.BlockID][]Ref{}}
+	for _, b := range g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		var refs []Ref
+		for i, in := range b.Insts() {
+			if !in.IsMem() {
+				continue
+			}
+			kind := Load
+			if in.Op.String() == "st" {
+				kind = Store
+			}
+			r := Ref{Kind: kind, InstIdx: i, Unknown: true}
+			if ar, ok := addrs[flow.RefKey{Block: b.ID, Idx: i}]; ok && ar.Known {
+				if ar.Exact() {
+					r = Ref{Kind: kind, InstIdx: i, Exact: true, Addr: ar.Lo}
+				} else if as := ar.Addrs(); len(as) > 0 && len(as) <= maxImpreciseAddrs {
+					r = Ref{Kind: kind, InstIdx: i, Addrs: as}
+				}
+			}
+			refs = append(refs, r)
+		}
+		st.Refs[b.ID] = refs
+	}
+	return st
+}
+
+// Class is the access classification of static cache analysis.
+type Class uint8
+
+// Classifications, as named in the survey (§2.1).
+const (
+	AlwaysHit     Class = iota // AH: in the must state
+	AlwaysMiss                 // AM: not in the may state
+	Persistent                 // PS: misses at most once per scope entry
+	NotClassified              // NC
+)
+
+func (c Class) String() string {
+	switch c {
+	case AlwaysHit:
+		return "ALWAYS_HIT"
+	case AlwaysMiss:
+		return "ALWAYS_MISS"
+	case Persistent:
+		return "PERSISTENT"
+	default:
+		return "NOT_CLASSIFIED"
+	}
+}
+
+// RefClass is the classification of one reference; Scope is the loop the
+// persistence is relative to (outermost persistent scope).
+type RefClass struct {
+	Class Class
+	Scope *cfg.Loop
+}
+
+// Result is the outcome of one cache-level analysis.
+type Result struct {
+	Cfg     Config
+	Classes map[RefID]RefClass
+	MustIn  map[cfg.BlockID]*ACS
+	MayIn   map[cfg.BlockID]*ACS
+
+	// persistent[loop][set] reports whether the set's conflict count
+	// within the loop fits the associativity.
+	persistent map[*cfg.Loop]map[int]bool
+	// perSetLines[loop][set] is the distinct-line count behind persistent.
+	perSetLines map[*cfg.Loop]map[int]int
+
+	// retained inputs, so interference analyses can reclassify.
+	g      *cfg.Graph
+	stream *Stream
+	cac    map[RefID]CAC // nil for single-level analyses
+	shift  map[int]int   // interference age shift per set (see Reclassify)
+}
+
+// CountClasses tallies classifications (reporting helper).
+func (r *Result) CountClasses() map[Class]int {
+	out := map[Class]int{}
+	for _, rc := range r.Classes {
+		out[rc.Class]++
+	}
+	return out
+}
+
+// transfer applies one reference to a (must or may) state.
+func transfer(a *ACS, r Ref, cacheCfg Config) {
+	switch {
+	case r.Exact:
+		a.Access(cacheCfg.LineOf(r.Addr))
+	case r.Unknown:
+		a.AccessUnknown()
+	default:
+		a.AccessImprecise(cacheCfg.LinesOf(r.Addrs))
+	}
+}
+
+// Analyze runs Must, May and Persistence analyses for one cache level
+// over the given reference stream and classifies every reference.
+func Analyze(g *cfg.Graph, st *Stream, cacheCfg Config) (*Result, error) {
+	if err := cacheCfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cfg:     cacheCfg,
+		Classes: map[RefID]RefClass{},
+		MustIn:  map[cfg.BlockID]*ACS{},
+		MayIn:   map[cfg.BlockID]*ACS{},
+		g:       g,
+		stream:  st,
+	}
+	res.runFixpoint(g, st, Must, res.MustIn)
+	res.runFixpoint(g, st, May, res.MayIn)
+	res.computePersistence(g, st)
+	res.classify(g, st)
+	return res, nil
+}
+
+// MustAnalyze panics on configuration errors (test/fixture helper).
+func MustAnalyze(g *cfg.Graph, st *Stream, cacheCfg Config) *Result {
+	r, err := Analyze(g, st, cacheCfg)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+func (res *Result) runFixpoint(g *cfg.Graph, st *Stream, kind ACSKind, inStates map[cfg.BlockID]*ACS) {
+	blocks := g.RPO()
+	out := map[cfg.BlockID]*ACS{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			var in *ACS
+			if b == g.Entry {
+				in = NewACS(res.Cfg, kind)
+			} else {
+				for _, e := range b.Preds {
+					p, ok := out[e.From.ID]
+					if !ok {
+						continue // unvisited predecessor (back edge, first pass)
+					}
+					if in == nil {
+						in = p.Clone()
+					} else {
+						in = in.Join(p)
+					}
+				}
+				if in == nil {
+					continue // all predecessors unvisited so far
+				}
+			}
+			o := in.Clone()
+			for _, r := range st.Refs[b.ID] {
+				transfer(o, r, res.Cfg)
+			}
+			prevIn, okIn := inStates[b.ID]
+			prevOut, okOut := out[b.ID]
+			if !okIn || !prevIn.Equal(in) || !okOut || !prevOut.Equal(o) {
+				inStates[b.ID] = in
+				out[b.ID] = o
+				changed = true
+			}
+		}
+	}
+}
+
+// computePersistence counts, for every loop scope and cache set, the
+// distinct lines referenced within the scope. A set whose conflict count
+// fits the associativity keeps any loaded line resident for the rest of
+// the scope (LRU guarantee), making its references persistent.
+func (res *Result) computePersistence(g *cfg.Graph, st *Stream) {
+	res.persistent = map[*cfg.Loop]map[int]bool{}
+	res.perSetLines = map[*cfg.Loop]map[int]int{}
+	for _, l := range g.Loops {
+		linesPerSet := map[int]map[LineID]bool{}
+		poisoned := false
+		for _, b := range l.Blocks {
+			for _, r := range st.Refs[b.ID] {
+				switch {
+				case r.Exact:
+					ln := res.Cfg.LineOf(r.Addr)
+					s := res.Cfg.SetOf(ln)
+					if linesPerSet[s] == nil {
+						linesPerSet[s] = map[LineID]bool{}
+					}
+					linesPerSet[s][ln] = true
+				case r.Unknown:
+					poisoned = true
+				default:
+					for _, ln := range res.Cfg.LinesOf(r.Addrs) {
+						s := res.Cfg.SetOf(ln)
+						if linesPerSet[s] == nil {
+							linesPerSet[s] = map[LineID]bool{}
+						}
+						linesPerSet[s][ln] = true
+					}
+				}
+			}
+		}
+		ps := map[int]bool{}
+		counts := map[int]int{}
+		if !poisoned {
+			for s, lines := range linesPerSet {
+				ps[s] = len(lines) <= res.Cfg.Ways
+				counts[s] = len(lines)
+			}
+		}
+		res.persistent[l] = ps
+		res.perSetLines[l] = counts
+	}
+}
+
+func (res *Result) classify(g *cfg.Graph, st *Stream) {
+	for _, b := range g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		must := stateOrNew(res.MustIn, b.ID, res.Cfg, Must).Clone()
+		may := stateOrNew(res.MayIn, b.ID, res.Cfg, May).Clone()
+		for seq, r := range st.Refs[b.ID] {
+			id := RefID{Block: b.ID, Seq: seq}
+			if res.cac != nil && res.cac[id] == Never {
+				// Never reaches this level; by convention AH (costs nothing).
+				res.Classes[id] = RefClass{Class: AlwaysHit}
+			} else {
+				res.Classes[id] = res.classifyRef(b, r, must, may)
+			}
+			res.applyRef(must, id, r)
+			res.applyRef(may, id, r)
+		}
+	}
+}
+
+// applyRef updates an abstract state for one reference, honouring the
+// level's CAC when present.
+func (res *Result) applyRef(a *ACS, id RefID, r Ref) {
+	cac := Always
+	if res.cac != nil {
+		cac = res.cac[id]
+	}
+	switch cac {
+	case Never:
+		// no effect at this level
+	case Uncertain:
+		switch {
+		case r.Exact:
+			a.AccessUncertain(res.Cfg.LineOf(r.Addr))
+		case r.Unknown:
+			a.AccessUnknown()
+		default:
+			a.AccessImprecise(res.Cfg.LinesOf(r.Addrs))
+		}
+	default:
+		transfer(a, r, res.Cfg)
+	}
+}
+
+func (res *Result) classifyRef(b *cfg.Block, r Ref, must, may *ACS) RefClass {
+	if r.Exact {
+		ln := res.Cfg.LineOf(r.Addr)
+		shift := res.shiftFor(res.Cfg.SetOf(ln))
+		if must.Contains(ln) && must.Age(ln)+shift < res.Cfg.Ways {
+			return RefClass{Class: AlwaysHit}
+		}
+		if !may.Poisoned && !may.Contains(ln) {
+			// Not cached on first encounter; but if persistent, later
+			// encounters hit, which PERSISTENT captures more tightly than
+			// ALWAYS_MISS only when inside a loop. Outside a loop a single
+			// guaranteed miss is exactly ALWAYS_MISS.
+			if scope := res.persistentScope(b, ln); scope != nil {
+				return RefClass{Class: Persistent, Scope: scope}
+			}
+			return RefClass{Class: AlwaysMiss}
+		}
+		if scope := res.persistentScope(b, ln); scope != nil {
+			return RefClass{Class: Persistent, Scope: scope}
+		}
+		return RefClass{Class: NotClassified}
+	}
+	// Imprecise and unknown references are never guaranteed hits.
+	return RefClass{Class: NotClassified}
+}
+
+// shiftFor returns the interference age shift of one set (0 without
+// Reclassify).
+func (res *Result) shiftFor(s int) int {
+	if res.shift == nil {
+		return 0
+	}
+	return res.shift[s]
+}
+
+// persistentScope returns the outermost enclosing loop in which the
+// line's set is persistent (conflict count plus interference shift within
+// associativity), or nil.
+func (res *Result) persistentScope(b *cfg.Block, ln LineID) *cfg.Loop {
+	s := res.Cfg.SetOf(ln)
+	var best *cfg.Loop
+	for l := b.Loop(); l != nil; l = l.Parent {
+		if res.persistent[l][s] && res.perSetLines[l][s]+res.shiftFor(s) <= res.Cfg.Ways {
+			best = l
+		} else {
+			break // an outer scope includes this one's conflicts
+		}
+	}
+	return best
+}
+
+// Reclassify recomputes all classifications under an inter-task
+// interference model: shift[s] is the number of distinct foreign cache
+// lines that co-running tasks may bring into set s (Li et al., RTSS 2009
+// age-shift semantics; with shift >= ways the set behaves as fully
+// corrupted, the direct-mapped special case of Yan & Zhang).
+//
+// Foreign address ranges must be disjoint from the task's own (the
+// toolkit places co-scheduled tasks at disjoint bases), so ALWAYS_MISS
+// claims survive: co-runners can evict our lines but never insert them.
+// ALWAYS_HIT claims now require age + shift < ways, and persistence
+// requires conflictCount + shift <= ways.
+func (res *Result) Reclassify(shift map[int]int) {
+	res.shift = shift
+	res.Classes = map[RefID]RefClass{}
+	res.classify(res.g, res.stream)
+}
+
+// Stream returns the reference stream the result was computed over.
+func (res *Result) Stream() *Stream { return res.stream }
+
+// CACOf returns the reference's cache access classification for this
+// level (Always for single-level analyses).
+func (res *Result) CACOf(id RefID) CAC {
+	if res.cac == nil {
+		return Always
+	}
+	return res.cac[id]
+}
+
+// TouchedSets returns, per set index, the distinct lines this task may
+// bring into this cache level (refs with CAC ≠ Never). Unknown refs
+// poison the result: the bool return is false and callers must assume
+// every set fully conflicted.
+func (res *Result) TouchedSets() (map[int]map[LineID]bool, bool) {
+	out := map[int]map[LineID]bool{}
+	for _, b := range res.g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		for seq, r := range res.stream.Refs[b.ID] {
+			if res.CACOf(RefID{Block: b.ID, Seq: seq}) == Never {
+				continue
+			}
+			var lines []LineID
+			switch {
+			case r.Exact:
+				lines = []LineID{res.Cfg.LineOf(r.Addr)}
+			case r.Unknown:
+				return nil, false
+			default:
+				lines = res.Cfg.LinesOf(r.Addrs)
+			}
+			for _, ln := range lines {
+				s := res.Cfg.SetOf(ln)
+				if out[s] == nil {
+					out[s] = map[LineID]bool{}
+				}
+				out[s][ln] = true
+			}
+		}
+	}
+	return out, true
+}
+
+// stateOrNew fetches a block's in-state, defaulting to the initial state
+// (blocks unreachable in the stream maps, e.g. with empty streams).
+func stateOrNew(m map[cfg.BlockID]*ACS, id cfg.BlockID, c Config, k ACSKind) *ACS {
+	if s, ok := m[id]; ok {
+		return s
+	}
+	return NewACS(c, k)
+}
+
+// Describe renders one classification for diagnostics.
+func (rc RefClass) String() string {
+	if rc.Class == Persistent && rc.Scope != nil {
+		return fmt.Sprintf("PERSISTENT@B%d", rc.Scope.Header.ID)
+	}
+	return rc.Class.String()
+}

@@ -1,0 +1,191 @@
+// Package cache implements the cache machinery of static WCET analysis:
+// a concrete set-associative LRU cache model (used by the cycle-accurate
+// simulator and as the ground truth in tests) and the classic abstract
+// interpretation analyses — Must, May and loop-scoped Persistence — that
+// classify every memory reference as ALWAYS_HIT, ALWAYS_MISS, PERSISTENT
+// or NOT_CLASSIFIED, as described in §2.1 of Rochange's survey (after
+// Ferdinand & Wilhelm, and Hardy & Puaut for multi-level hierarchies).
+package cache
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LineID identifies a memory line: byte address divided by the line size.
+type LineID uint32
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	Sets      int // number of sets (power of two)
+	Ways      int // associativity
+	LineBytes int // line size in bytes (power of two)
+
+	// HitLatency is the access time in cycles on a hit; MissPenalty is the
+	// additional time to fill from the next level (used by the timing
+	// composition, not by the classification analysis itself).
+	HitLatency  int
+	MissPenalty int
+}
+
+// Validate checks structural sanity.
+func (c Config) Validate() error {
+	if c.Sets <= 0 || c.Sets&(c.Sets-1) != 0 {
+		return fmt.Errorf("cache %s: sets %d not a positive power of two", c.Name, c.Sets)
+	}
+	if c.LineBytes < 4 || c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two >= 4", c.Name, c.LineBytes)
+	}
+	if c.Ways <= 0 {
+		return fmt.Errorf("cache %s: ways %d", c.Name, c.Ways)
+	}
+	return nil
+}
+
+// LineOf maps a byte address to its line.
+func (c Config) LineOf(addr uint32) LineID { return LineID(addr / uint32(c.LineBytes)) }
+
+// SetOf maps a line to its set index.
+func (c Config) SetOf(l LineID) int { return int(uint32(l) % uint32(c.Sets)) }
+
+// CapacityBytes returns the total capacity.
+func (c Config) CapacityBytes() int { return c.Sets * c.Ways * c.LineBytes }
+
+// LinesOf returns the distinct lines touched by a set of byte addresses,
+// in ascending order.
+func (c Config) LinesOf(addrs []uint32) []LineID {
+	seen := map[LineID]bool{}
+	for _, a := range addrs {
+		seen[c.LineOf(a)] = true
+	}
+	out := make([]LineID, 0, len(seen))
+	for l := range seen {
+		out = append(out, l)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// LRU is a concrete set-associative cache with true LRU replacement.
+// It supports line locking (locked lines are never evicted) and is the
+// reference model the abstract analyses are validated against.
+type LRU struct {
+	cfg    Config
+	sets   [][]LineID // each set: MRU first
+	locked map[LineID]bool
+
+	Hits, Misses uint64
+}
+
+// NewLRU returns an empty cache.
+func NewLRU(cfg Config) *LRU {
+	return &LRU{cfg: cfg, sets: make([][]LineID, cfg.Sets), locked: map[LineID]bool{}}
+}
+
+// Config returns the cache geometry.
+func (c *LRU) Config() Config { return c.cfg }
+
+// Access touches the line containing addr and reports whether it hit.
+// On a miss the line is filled, evicting the least recently used unlocked
+// line if the set is full.
+func (c *LRU) Access(addr uint32) bool {
+	return c.AccessLine(c.cfg.LineOf(addr))
+}
+
+// AccessLine is Access by line.
+func (c *LRU) AccessLine(l LineID) bool {
+	s := c.cfg.SetOf(l)
+	set := c.sets[s]
+	for i, x := range set {
+		if x == l {
+			// Move to MRU.
+			copy(set[1:i+1], set[:i])
+			set[0] = l
+			c.Hits++
+			return true
+		}
+	}
+	c.Misses++
+	c.insert(s, l)
+	return false
+}
+
+func (c *LRU) insert(s int, l LineID) {
+	set := c.sets[s]
+	if len(set) < c.cfg.Ways {
+		c.sets[s] = append([]LineID{l}, set...)
+		return
+	}
+	// Evict the least recently used unlocked line.
+	victim := -1
+	for i := len(set) - 1; i >= 0; i-- {
+		if !c.locked[set[i]] {
+			victim = i
+			break
+		}
+	}
+	if victim < 0 {
+		// Fully locked set: the access bypasses the cache.
+		return
+	}
+	out := make([]LineID, 0, len(set))
+	out = append(out, l)
+	for i, x := range set {
+		if i != victim {
+			out = append(out, x)
+		}
+	}
+	c.sets[s] = out
+}
+
+// Contains reports whether the line holding addr is cached.
+func (c *LRU) Contains(addr uint32) bool {
+	l := c.cfg.LineOf(addr)
+	for _, x := range c.sets[c.cfg.SetOf(l)] {
+		if x == l {
+			return true
+		}
+	}
+	return false
+}
+
+// Lock pins a line: it may still miss on first access but is never
+// evicted once resident. Locking an absent line also prefetches it.
+func (c *LRU) Lock(l LineID) {
+	c.locked[l] = true
+	s := c.cfg.SetOf(l)
+	for _, x := range c.sets[s] {
+		if x == l {
+			return
+		}
+	}
+	c.insert(s, l)
+}
+
+// Unlock releases a locked line (it stays resident until evicted).
+func (c *LRU) Unlock(l LineID) { delete(c.locked, l) }
+
+// Flush empties the cache, keeping locks (locked lines are refetched on
+// next access).
+func (c *LRU) Flush() {
+	for i := range c.sets {
+		c.sets[i] = nil
+	}
+}
+
+// Dump renders occupancy for debugging.
+func (c *LRU) Dump() string {
+	out := ""
+	for i, set := range c.sets {
+		if len(set) == 0 {
+			continue
+		}
+		out += fmt.Sprintf("set %d:", i)
+		for _, l := range set {
+			out += fmt.Sprintf(" %d", l)
+		}
+		out += "\n"
+	}
+	return out
+}

@@ -1,0 +1,193 @@
+package cache
+
+import (
+	"fmt"
+
+	"paratime/internal/cfg"
+)
+
+// CAC is the cache access classification of a reference with respect to
+// the next cache level (Hardy & Puaut, RTSS 2008): whether the reference
+// reaches that level Always, Never, or Uncertainly.
+type CAC uint8
+
+// Cache access classifications.
+const (
+	Always CAC = iota
+	Uncertain
+	Never
+)
+
+func (c CAC) String() string {
+	switch c {
+	case Always:
+		return "A"
+	case Uncertain:
+		return "U"
+	default:
+		return "N"
+	}
+}
+
+// CACFromL1 derives the next-level access classification from an L1
+// classification: ALWAYS_HIT never reaches L2, ALWAYS_MISS always does,
+// PERSISTENT and NOT_CLASSIFIED reach it uncertainly.
+func CACFromL1(c Class) CAC {
+	switch c {
+	case AlwaysHit:
+		return Never
+	case AlwaysMiss:
+		return Always
+	default:
+		return Uncertain
+	}
+}
+
+// TwoLevelResult is the joint analysis of a private L1 feeding an L2.
+type TwoLevelResult struct {
+	L1  *Result
+	L2  *Result
+	CAC map[RefID]CAC // per reference: does it reach L2?
+}
+
+// AnalyzeTwoLevel analyzes a two-level non-inclusive hierarchy over one
+// reference stream: the L1 is analyzed first, then the L2 under the
+// induced cache access classification.
+func AnalyzeTwoLevel(g *cfg.Graph, st *Stream, l1, l2 Config) (*TwoLevelResult, error) {
+	r1, err := Analyze(g, st, l1)
+	if err != nil {
+		return nil, err
+	}
+	cac := map[RefID]CAC{}
+	for id, rc := range r1.Classes {
+		cac[id] = CACFromL1(rc.Class)
+	}
+	r2, err := AnalyzeWithCAC(g, st, l2, cac)
+	if err != nil {
+		return nil, err
+	}
+	return &TwoLevelResult{L1: r1, L2: r2, CAC: cac}, nil
+}
+
+// AnalyzeWithCAC analyzes one cache level where each reference carries a
+// cache access classification: Never references do not touch the level,
+// Uncertain references update it with the join of accessing and not
+// accessing (Hardy & Puaut), and persistence counts only references that
+// may reach the level. This is the building block for unified L2 analysis
+// over merged instruction+data streams and for the shared-cache
+// interference analyses.
+func AnalyzeWithCAC(g *cfg.Graph, st *Stream, cacheCfg Config, cac map[RefID]CAC) (*Result, error) {
+	if err := cacheCfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cfg:     cacheCfg,
+		Classes: map[RefID]RefClass{},
+		MustIn:  map[cfg.BlockID]*ACS{},
+		MayIn:   map[cfg.BlockID]*ACS{},
+		g:       g,
+		stream:  st,
+		cac:     cac,
+	}
+	res.runFilteredFixpoint(g, st, Must, res.MustIn)
+	res.runFilteredFixpoint(g, st, May, res.MayIn)
+	res.computeFilteredPersistence(g, st)
+	res.classify(g, st)
+	return res, nil
+}
+
+func (res *Result) runFilteredFixpoint(g *cfg.Graph, st *Stream, kind ACSKind, inStates map[cfg.BlockID]*ACS) {
+	blocks := g.RPO()
+	out := map[cfg.BlockID]*ACS{}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			var in *ACS
+			if b == g.Entry {
+				in = NewACS(res.Cfg, kind)
+			} else {
+				for _, e := range b.Preds {
+					p, ok := out[e.From.ID]
+					if !ok {
+						continue
+					}
+					if in == nil {
+						in = p.Clone()
+					} else {
+						in = in.Join(p)
+					}
+				}
+				if in == nil {
+					continue
+				}
+			}
+			o := in.Clone()
+			for seq, r := range st.Refs[b.ID] {
+				res.applyRef(o, RefID{Block: b.ID, Seq: seq}, r)
+			}
+			prevIn, okIn := inStates[b.ID]
+			prevOut, okOut := out[b.ID]
+			if !okIn || !prevIn.Equal(in) || !okOut || !prevOut.Equal(o) {
+				inStates[b.ID] = in
+				out[b.ID] = o
+				changed = true
+			}
+		}
+	}
+}
+
+// computeFilteredPersistence is persistence counting restricted to
+// references that may reach this level.
+func (res *Result) computeFilteredPersistence(g *cfg.Graph, st *Stream) {
+	res.persistent = map[*cfg.Loop]map[int]bool{}
+	res.perSetLines = map[*cfg.Loop]map[int]int{}
+	for _, l := range g.Loops {
+		linesPerSet := map[int]map[LineID]bool{}
+		poisoned := false
+		for _, b := range l.Blocks {
+			for seq, r := range st.Refs[b.ID] {
+				if res.cac[RefID{Block: b.ID, Seq: seq}] == Never {
+					continue
+				}
+				switch {
+				case r.Exact:
+					ln := res.Cfg.LineOf(r.Addr)
+					s := res.Cfg.SetOf(ln)
+					if linesPerSet[s] == nil {
+						linesPerSet[s] = map[LineID]bool{}
+					}
+					linesPerSet[s][ln] = true
+				case r.Unknown:
+					poisoned = true
+				default:
+					for _, ln := range res.Cfg.LinesOf(r.Addrs) {
+						s := res.Cfg.SetOf(ln)
+						if linesPerSet[s] == nil {
+							linesPerSet[s] = map[LineID]bool{}
+						}
+						linesPerSet[s][ln] = true
+					}
+				}
+			}
+		}
+		ps := map[int]bool{}
+		counts := map[int]int{}
+		if !poisoned {
+			for s, lines := range linesPerSet {
+				ps[s] = len(lines) <= res.Cfg.Ways
+				counts[s] = len(lines)
+			}
+		}
+		res.persistent[l] = ps
+		res.perSetLines[l] = counts
+	}
+}
+
+// Summary renders classification counts for both levels.
+func (t *TwoLevelResult) Summary() string {
+	c1 := t.L1.CountClasses()
+	c2 := t.L2.CountClasses()
+	return fmt.Sprintf("L1[AH=%d AM=%d PS=%d NC=%d] L2[AH=%d AM=%d PS=%d NC=%d]",
+		c1[AlwaysHit], c1[AlwaysMiss], c1[Persistent], c1[NotClassified],
+		c2[AlwaysHit], c2[AlwaysMiss], c2[Persistent], c2[NotClassified])
+}

@@ -1,0 +1,366 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"paratime/internal/isa"
+)
+
+// maxBlocks bounds the size of the inlined graph; virtual inlining of a
+// pathological call tree could otherwise explode.
+const maxBlocks = 1 << 16
+
+// Build reconstructs the control-flow graph of a program, virtually
+// inlining all calls starting from the first instruction. It errors on
+// recursion, irreducible control flow, control falling off the text
+// segment, and graphs exceeding the inlining budget.
+func Build(p *isa.Program) (*Graph, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	b := &builder{
+		prog:  p,
+		procs: map[int]*procCFG{},
+		g:     &Graph{Prog: p},
+	}
+	entry, _, err := b.instantiate(0, nil, "")
+	if err != nil {
+		return nil, err
+	}
+	// Synthetic exit block.
+	exit := b.newBlock(0, 0, "")
+	b.g.Exit = exit
+	for _, h := range b.halts {
+		b.edge(h, exit, EdgeExit)
+	}
+	for _, r := range b.topRets {
+		b.edge(r, exit, EdgeExit)
+	}
+	if len(exit.Preds) == 0 {
+		return nil, fmt.Errorf("cfg %q: no reachable HALT/RET; task never terminates", p.Name)
+	}
+	b.g.Entry = entry
+	if err := analyze(b.g); err != nil {
+		return nil, err
+	}
+	return b.g, nil
+}
+
+// MustBuild is Build, panicking on error. For fixtures and the built-in
+// workload suite.
+func MustBuild(p *isa.Program) *Graph {
+	g, err := Build(p)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// procCFG is the intra-procedural block structure of one procedure,
+// shared by all of its inline instantiations.
+type procCFG struct {
+	entry  int
+	blocks []procBlock
+	at     map[int]int // leader instruction index -> blocks index
+}
+
+type procBlock struct {
+	start, end int
+}
+
+type builder struct {
+	prog    *isa.Program
+	procs   map[int]*procCFG
+	g       *Graph
+	halts   []*Block
+	topRets []*Block
+	nEdges  int
+}
+
+func (b *builder) newBlock(start, end int, ctx string) *Block {
+	blk := &Block{ID: BlockID(len(b.g.Blocks)), Start: start, End: end, Ctx: ctx, graph: b.g}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+func (b *builder) edge(from, to *Block, kind EdgeKind) *Edge {
+	e := &Edge{ID: b.nEdges, From: from, To: to, Kind: kind}
+	b.nEdges++
+	from.Succs = append(from.Succs, e)
+	to.Preds = append(to.Preds, e)
+	b.g.Edges = append(b.g.Edges, e)
+	return e
+}
+
+// proc lazily discovers the intra-procedural CFG rooted at entry.
+func (b *builder) proc(entry int) (*procCFG, error) {
+	if pc, ok := b.procs[entry]; ok {
+		return pc, nil
+	}
+	insts := b.prog.Insts
+	// Discover reachable instructions and leaders intra-procedurally.
+	leaders := map[int]bool{entry: true}
+	seen := map[int]bool{}
+	work := []int{entry}
+	for len(work) > 0 {
+		i := work[len(work)-1]
+		work = work[:len(work)-1]
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		if i >= len(insts) {
+			return nil, fmt.Errorf("cfg %q: control reaches past end of text from proc at +%d", b.prog.Name, entry)
+		}
+		in := insts[i]
+		push := func(j int, leader bool) {
+			if leader {
+				leaders[j] = true
+			}
+			if !seen[j] {
+				work = append(work, j)
+			}
+		}
+		switch {
+		case in.Op == isa.HALT, in.Op == isa.RET:
+			// terminates this path; next instruction (if reachable) is a leader
+		case in.IsBranch():
+			t := b.prog.Index(in.Target)
+			push(t, true)
+			push(i+1, true)
+		case in.Op == isa.J:
+			push(b.prog.Index(in.Target), true)
+		case in.Op == isa.CALL:
+			// callee handled separately; continuation is a leader
+			push(i+1, true)
+		default:
+			push(i+1, false)
+		}
+	}
+	// Partition into blocks: sorted reachable instructions, split at leaders
+	// and after control transfers.
+	reach := make([]int, 0, len(seen))
+	for i := range seen {
+		reach = append(reach, i)
+	}
+	sort.Ints(reach)
+	pc := &procCFG{entry: entry, at: map[int]int{}}
+	start := -1
+	var prev int
+	flush := func(end int) {
+		if start >= 0 {
+			pc.at[start] = len(pc.blocks)
+			pc.blocks = append(pc.blocks, procBlock{start: start, end: end})
+			start = -1
+		}
+	}
+	for _, i := range reach {
+		if start >= 0 && (i != prev+1 || leaders[i]) {
+			flush(prev + 1)
+		}
+		if start < 0 {
+			start = i
+		}
+		if insts[i].IsControl() || insts[i].Op == isa.CALL {
+			flush(i + 1)
+		}
+		prev = i
+	}
+	flush(prev + 1)
+	b.procs[entry] = pc
+	return pc, nil
+}
+
+// instantiate creates a fresh copy of the procedure at entry under the
+// given call stack. It returns the entry block and the blocks that end in
+// RET (the procedure's exits).
+func (b *builder) instantiate(entry int, stack []int, ctx string) (*Block, []*Block, error) {
+	for _, e := range stack {
+		if e == entry {
+			return nil, nil, fmt.Errorf("cfg %q: recursive call to proc at +%d (stack %v)", b.prog.Name, entry, stack)
+		}
+	}
+	pc, err := b.proc(entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(b.g.Blocks)+len(pc.blocks) > maxBlocks {
+		return nil, nil, fmt.Errorf("cfg %q: inlined graph exceeds %d blocks", b.prog.Name, maxBlocks)
+	}
+	// Copy blocks.
+	copies := make([]*Block, len(pc.blocks))
+	for i, blk := range pc.blocks {
+		copies[i] = b.newBlock(blk.start, blk.end, ctx)
+	}
+	at := func(instIdx int) (*Block, error) {
+		bi, ok := pc.at[instIdx]
+		if !ok {
+			return nil, fmt.Errorf("cfg %q: jump into middle of block at +%d", b.prog.Name, instIdx)
+		}
+		return copies[bi], nil
+	}
+	var rets []*Block
+	// Wire edges.
+	for i, blk := range pc.blocks {
+		from := copies[i]
+		last := b.prog.Insts[blk.end-1]
+		switch {
+		case last.Op == isa.HALT:
+			b.halts = append(b.halts, from)
+		case last.Op == isa.RET:
+			rets = append(rets, from)
+		case last.IsBranch():
+			t, err := at(b.prog.Index(last.Target))
+			if err != nil {
+				return nil, nil, err
+			}
+			f, err := at(blk.end)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.edge(from, t, EdgeTaken)
+			b.edge(from, f, EdgeFall)
+		case last.Op == isa.J:
+			t, err := at(b.prog.Index(last.Target))
+			if err != nil {
+				return nil, nil, err
+			}
+			b.edge(from, t, EdgeJump)
+		case last.Op == isa.CALL:
+			calleeEntry := b.prog.Index(last.Target)
+			childCtx := fmt.Sprintf("%s>%s@%d", ctx, b.calleeName(calleeEntry), blk.end-1)
+			ce, crets, err := b.instantiate(calleeEntry, append(stack, entry), childCtx)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.edge(from, ce, EdgeCall)
+			cont, err := at(blk.end)
+			if err != nil {
+				return nil, nil, fmt.Errorf("call at +%d has no continuation: %w", blk.end-1, err)
+			}
+			for _, rb := range crets {
+				b.edge(rb, cont, EdgeReturn)
+			}
+			if len(crets) == 0 {
+				// Callee never returns (all paths HALT); the continuation
+				// may be unreachable, which analyze() tolerates by pruning.
+				_ = cont
+			}
+		default:
+			f, err := at(blk.end)
+			if err != nil {
+				return nil, nil, err
+			}
+			b.edge(from, f, EdgeFall)
+		}
+	}
+	eb, err := at(entry)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(stack) == 0 {
+		b.topRets = append(b.topRets, rets...)
+		rets = nil
+	}
+	return eb, rets, nil
+}
+
+func (b *builder) calleeName(entry int) string {
+	if l := b.prog.LabelAt(entry); l != "" {
+		return l
+	}
+	return fmt.Sprintf("+%d", entry)
+}
+
+// analyze prunes unreachable blocks, numbers blocks in reverse post-order,
+// computes dominators and natural loops, and checks reducibility.
+func analyze(g *Graph) error {
+	prune(g)
+	rpoNumber(g)
+	computeDominators(g)
+	if err := findLoops(g); err != nil {
+		return err
+	}
+	return nil
+}
+
+// prune removes blocks unreachable from the entry (possible when a callee
+// never returns), keeping IDs dense.
+func prune(g *Graph) {
+	reach := map[*Block]bool{}
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+	}
+	dfs(g.Entry)
+	if len(reach) == len(g.Blocks) {
+		return
+	}
+	var blocks []*Block
+	for _, b := range g.Blocks {
+		if reach[b] {
+			b.ID = BlockID(len(blocks))
+			blocks = append(blocks, b)
+		}
+	}
+	g.Blocks = blocks
+	var edges []*Edge
+	for _, e := range g.Edges {
+		if reach[e.From] && reach[e.To] {
+			e.ID = len(edges)
+			edges = append(edges, e)
+		}
+	}
+	g.Edges = edges
+	for _, b := range g.Blocks {
+		b.Succs = filterEdges(b.Succs, reach)
+		b.Preds = filterEdges(b.Preds, reach)
+	}
+}
+
+func filterEdges(es []*Edge, reach map[*Block]bool) []*Edge {
+	out := es[:0]
+	for _, e := range es {
+		if reach[e.From] && reach[e.To] {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// rpoNumber assigns reverse post-order numbers; the exit block is forced
+// last among equals by DFS structure (it has no successors).
+func rpoNumber(g *Graph) {
+	seen := map[*Block]bool{}
+	var post []*Block
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, e := range b.Succs {
+			dfs(e.To)
+		}
+		post = append(post, b)
+	}
+	dfs(g.Entry)
+	n := len(post)
+	for i, b := range post {
+		b.rpo = n - 1 - i
+	}
+	sort.Slice(g.Blocks, func(i, j int) bool { return g.Blocks[i].rpo < g.Blocks[j].rpo })
+	for i, b := range g.Blocks {
+		b.ID = BlockID(i)
+	}
+	for i, e := range g.Edges {
+		e.ID = i
+	}
+}

@@ -1,0 +1,52 @@
+package cfg
+
+// computeDominators fills Block.idom using the Cooper–Harvey–Kennedy
+// iterative algorithm over reverse post-order. The graph must already be
+// RPO-numbered with Blocks sorted by rpo.
+func computeDominators(g *Graph) {
+	entry := g.Entry
+	entry.idom = nil
+	for _, b := range g.Blocks {
+		if b != entry {
+			b.idom = nil
+		}
+	}
+	// Blocks are sorted by RPO; iterate to fixpoint.
+	changed := true
+	for changed {
+		changed = false
+		for _, b := range g.Blocks {
+			if b == entry {
+				continue
+			}
+			var newIdom *Block
+			for _, e := range b.Preds {
+				p := e.From
+				if p == entry || p.idom != nil {
+					if newIdom == nil {
+						newIdom = p
+					} else {
+						newIdom = intersect(p, newIdom)
+					}
+				}
+			}
+			if newIdom != nil && b.idom != newIdom {
+				b.idom = newIdom
+				changed = true
+			}
+		}
+	}
+}
+
+// intersect walks up the dominator tree using RPO numbers.
+func intersect(a, b *Block) *Block {
+	for a != b {
+		for a.rpo > b.rpo {
+			a = a.idom
+		}
+		for b.rpo > a.rpo {
+			b = b.idom
+		}
+	}
+	return a
+}

@@ -1,0 +1,110 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// findLoops detects natural loops from back edges, merges loops sharing a
+// header, establishes nesting, and rejects irreducible flow (a retreating
+// edge whose target does not dominate its source).
+func findLoops(g *Graph) error {
+	for _, b := range g.Blocks {
+		b.loop = nil
+	}
+	g.Loops = nil
+	loops := map[*Block]*Loop{} // header -> loop
+	for _, e := range g.Edges {
+		if e.To.rpo > e.From.rpo && e.To != e.From {
+			continue // forward edge
+		}
+		// Retreating edge; reducible iff target dominates source.
+		if !e.To.Dominates(e.From) {
+			return fmt.Errorf("cfg %q: irreducible control flow at %v", g.Prog.Name, e)
+		}
+		l := loops[e.To]
+		if l == nil {
+			l = &Loop{Header: e.To, Blocks: map[BlockID]*Block{e.To.ID: e.To}, Bound: -1}
+			loops[e.To] = l
+		}
+		l.BackEdges = append(l.BackEdges, e)
+		// Natural loop body: reverse reachability from the latch to the
+		// header.
+		stack := []*Block{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Contains(b) {
+				continue
+			}
+			l.Blocks[b.ID] = b
+			for _, pe := range b.Preds {
+				stack = append(stack, pe.From)
+			}
+		}
+	}
+	if len(loops) == 0 {
+		return nil
+	}
+	var all []*Loop
+	for _, l := range loops {
+		all = append(all, l)
+	}
+	// Sort by body size ascending: a loop's parent is the smallest strictly
+	// containing loop.
+	sort.Slice(all, func(i, j int) bool {
+		if len(all[i].Blocks) != len(all[j].Blocks) {
+			return len(all[i].Blocks) < len(all[j].Blocks)
+		}
+		return all[i].Header.rpo < all[j].Header.rpo
+	})
+	for i, l := range all {
+		for _, cand := range all[i+1:] {
+			if cand != l && cand.Contains(l.Header) && len(cand.Blocks) > len(l.Blocks) {
+				l.Parent = cand
+				break
+			}
+		}
+	}
+	for _, l := range all {
+		l.Depth = 1
+		for p := l.Parent; p != nil; p = p.Parent {
+			l.Depth++
+		}
+	}
+	// Innermost-loop membership per block: smallest loop containing it.
+	for _, l := range all { // ascending size: later assignments only by larger loops
+		for _, b := range l.Blocks {
+			if b.loop == nil {
+				b.loop = l
+			}
+		}
+	}
+	// Entry and exit edges.
+	for _, l := range all {
+		for _, e := range l.Header.Preds {
+			if !l.Contains(e.From) {
+				l.EntryEdges = append(l.EntryEdges, e)
+			}
+		}
+		for _, b := range l.Blocks {
+			for _, e := range b.Succs {
+				if !l.Contains(e.To) {
+					l.ExitEdges = append(l.ExitEdges, e)
+				}
+			}
+		}
+		if len(l.EntryEdges) == 0 {
+			return fmt.Errorf("cfg %q: loop %v has no entry edge", g.Prog.Name, l)
+		}
+	}
+	// Present outermost-first, stable by header RPO.
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Depth != all[j].Depth {
+			return all[i].Depth < all[j].Depth
+		}
+		return all[i].Header.rpo < all[j].Header.rpo
+	})
+	g.Loops = all
+	return nil
+}

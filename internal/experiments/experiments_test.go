@@ -1,0 +1,67 @@
+package experiments
+
+import "testing"
+
+// TestAllExperimentsRun executes every experiment end to end and checks
+// the claims they internally assert (each experiment returns an error on
+// any soundness or shape violation).
+func TestAllExperimentsRun(t *testing.T) {
+	for _, id := range IDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			res, err := All[id]()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Table == nil || len(res.Table.Rows) == 0 {
+				t.Fatal("empty table")
+			}
+			if res.Table.String() == "" {
+				t.Fatal("unrenderable table")
+			}
+		})
+	}
+}
+
+// TestClaimDirections spot-checks the headline directions of the central
+// experiments (who wins, what grows).
+func TestClaimDirections(t *testing.T) {
+	e2, err := Exp02UnsafeSolo()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e2.Metrics["exceeded"] != 1 {
+		t.Error("E2: co-runners did not push the victim past its solo bound")
+	}
+	e3, err := Exp03Measurement()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.Metrics["underestimated"] != 1 {
+		t.Error("E3: measurement campaign was not an underestimate")
+	}
+	e4, err := Exp04YanZhang()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e4.Metrics["inflation_at_4"] < 1.0 {
+		t.Error("E4: joint bound below solo")
+	}
+	e8, err := Exp08PartitionLocking()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e8.Metrics["corebased_sum"] > e8.Metrics["taskbased_sum"] {
+		t.Error("E8: core-based partitioning lost to task-based")
+	}
+	if e8.Metrics["dynamic_lock"] >= e8.Metrics["static_lock"] {
+		t.Error("E8: dynamic locking lost to static on phased workload")
+	}
+	e13, err := Exp13MBBA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e13.Metrics["heavy_core_gain"] < 1.0 {
+		t.Error("E13: MBBA did not help the memory-heavy core")
+	}
+}

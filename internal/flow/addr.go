@@ -1,0 +1,110 @@
+package flow
+
+import (
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// RefKey identifies one memory-access instruction occurrence: block plus
+// index within the block. Inlined copies of the same instruction get
+// distinct keys (their blocks differ).
+type RefKey struct {
+	Block cfg.BlockID
+	Idx   int
+}
+
+// AddrRange over-approximates the addresses one LD/ST instruction can
+// touch across all executions. Known=false means the analysis could not
+// bound the access; cache analysis must treat it as touching anything.
+type AddrRange struct {
+	Known  bool
+	Lo, Hi uint32 // inclusive byte addresses of the first word accessed
+	Stride uint32 // >= 4; address step between consecutive accesses
+}
+
+// Exact reports whether the range is a single address.
+func (r AddrRange) Exact() bool { return r.Known && r.Lo == r.Hi }
+
+// Addrs enumerates the word addresses in the range (Lo, Lo+Stride, ... Hi).
+// Callers must only use it for Known ranges.
+func (r AddrRange) Addrs() []uint32 {
+	if !r.Known {
+		return nil
+	}
+	stride := r.Stride
+	if stride == 0 {
+		stride = 4
+	}
+	var out []uint32
+	for a := r.Lo; a <= r.Hi; a += stride {
+		out = append(out, a)
+		if a+stride < a { // overflow guard
+			break
+		}
+	}
+	return out
+}
+
+// AnalyzeAddrs computes an address range for every LD/ST in the graph.
+// Three levels of precision:
+//
+//  1. The base register is a known constant at the access: exact address.
+//  2. The base register is the induction register of an enclosing loop
+//     with derived init/step/count: a strided range covering every
+//     iteration (widened by one step for safety).
+//  3. Otherwise: unknown.
+func AnalyzeAddrs(g *cfg.Graph, cp *ConstProp, ind map[*cfg.Loop]Induction) map[RefKey]AddrRange {
+	out := map[RefKey]AddrRange{}
+	for _, b := range g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		s := cp.In[b.ID]
+		for i, in := range b.Insts() {
+			if in.IsMem() {
+				out[RefKey{b.ID, i}] = rangeFor(b, in, s, ind)
+			}
+			s = TransferInst(in, s, b.Addr(i))
+		}
+	}
+	return out
+}
+
+func rangeFor(b *cfg.Block, in isa.Inst, s RegState, ind map[*cfg.Loop]Induction) AddrRange {
+	base := s.get(in.Rs1)
+	if base.Kind == Const {
+		a := uint32(base.C + in.Imm)
+		return AddrRange{Known: true, Lo: a, Hi: a, Stride: 4}
+	}
+	// Walk enclosing loops innermost-out looking for an induction register
+	// matching the base.
+	for l := b.Loop(); l != nil; l = l.Parent {
+		iv, ok := ind[l]
+		if !ok || iv.Reg != in.Rs1 {
+			continue
+		}
+		// Values taken: Init, Init+Step, ..., Init+Count*Step (one extra
+		// step of widening keeps the range safe regardless of where in the
+		// iteration the access sits relative to the update).
+		first := int64(iv.Init)
+		last := int64(iv.Init) + int64(iv.Step)*int64(iv.Count)
+		lo, hi := first, last
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		stride := int64(iv.Step)
+		if stride < 0 {
+			stride = -stride
+		}
+		if stride == 0 || stride%4 != 0 {
+			return AddrRange{}
+		}
+		return AddrRange{
+			Known:  true,
+			Lo:     uint32(lo + int64(in.Imm)),
+			Hi:     uint32(hi + int64(in.Imm)),
+			Stride: uint32(stride),
+		}
+	}
+	return AddrRange{}
+}

@@ -1,0 +1,296 @@
+package flow
+
+import (
+	"fmt"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// maxTrip caps loop-bound simulation; loops that iterate longer than this
+// are reported as underivable rather than stalling the analysis.
+const maxTrip = 1 << 22
+
+// Induction describes the derived counting behaviour of a loop: register
+// Reg starts at Init on loop entry and is incremented by Step exactly once
+// per iteration; the loop header executes Count times per loop entry.
+type Induction struct {
+	Reg   isa.Reg
+	Init  int32
+	Step  int32
+	Count int
+}
+
+// BoundReport records the outcome of automatic bound derivation for one
+// loop, for diagnostics.
+type BoundReport struct {
+	Loop    *cfg.Loop
+	Derived bool
+	Reason  string // why derivation failed, when !Derived
+}
+
+// AtLoopEntry returns the abstract register state on entry to the loop:
+// the join over the loop's entry edges of the predecessors' exit states.
+// Unlike In[header], it excludes back edges, so loop-carried registers
+// keep their initial values.
+func (cp *ConstProp) AtLoopEntry(l *cfg.Loop) RegState {
+	var acc RegState // all Bot
+	for _, e := range l.EntryEdges {
+		acc = joinState(acc, cp.Out[e.From.ID])
+	}
+	return acc
+}
+
+// DeriveBounds attempts to derive an iteration bound for every loop in
+// the graph by recognizing counting loops: a unique induction register
+// updated by a constant step, tested by a single controlling branch
+// against a loop-invariant constant. Bounds found are written into
+// Loop.Bound (as the maximum number of header executions per loop entry).
+// It returns per-loop reports and the induction facts for loops it solved.
+//
+// Derivation is conservative: any pattern it cannot prove exact is left
+// unbounded (Loop.Bound = -1) for the user to annotate via Facts. Extra
+// exit edges besides the modelled branch can only shorten execution, so a
+// derived bound is always a safe upper bound.
+func DeriveBounds(g *cfg.Graph, cp *ConstProp) ([]BoundReport, map[*cfg.Loop]Induction) {
+	var reports []BoundReport
+	ind := map[*cfg.Loop]Induction{}
+	for _, l := range g.Loops {
+		iv, err := deriveLoop(g, cp, l)
+		if err != nil {
+			reports = append(reports, BoundReport{Loop: l, Reason: err.Error()})
+			continue
+		}
+		l.Bound = iv.Count
+		ind[l] = iv
+		reports = append(reports, BoundReport{Loop: l, Derived: true})
+	}
+	return reports, ind
+}
+
+func deriveLoop(g *cfg.Graph, cp *ConstProp, l *cfg.Loop) (Induction, error) {
+	entry := cp.AtLoopEntry(l)
+	// Candidate controlling branches.
+	for _, b := range blocksOf(l) {
+		if b.Len() == 0 {
+			continue
+		}
+		last := b.Insts()[b.Len()-1]
+		if !last.IsBranch() || len(b.Succs) != 2 {
+			continue
+		}
+		var taken, fall *cfg.Edge
+		for _, e := range b.Succs {
+			if e.Kind == cfg.EdgeTaken {
+				taken = e
+			} else {
+				fall = e
+			}
+		}
+		if taken == nil || fall == nil {
+			continue
+		}
+		tIn, fIn := l.Contains(taken.To), l.Contains(fall.To)
+		var contOnPred bool
+		switch {
+		case tIn && !fIn:
+			contOnPred = true
+		case !tIn && fIn:
+			contOnPred = false
+		default:
+			continue // not a loop-controlling branch
+		}
+		// Safety: the modelled branch must dominate every back edge source
+		// so that no iteration can continue without passing the test.
+		controls := true
+		for _, be := range l.BackEdges {
+			if !b.Dominates(be.From) {
+				controls = false
+				break
+			}
+		}
+		if !controls {
+			continue
+		}
+		iv, err := deriveFromBranch(g, cp, l, b, last, contOnPred, entry)
+		if err == nil {
+			return iv, nil
+		}
+	}
+	return Induction{}, fmt.Errorf("no derivable controlling branch (annotate with Facts)")
+}
+
+func deriveFromBranch(g *cfg.Graph, cp *ConstProp, l *cfg.Loop, branchBlk *cfg.Block,
+	br isa.Inst, contOnPred bool, entry RegState) (Induction, error) {
+
+	// Find the unique in-loop update of one of the branch operands.
+	for _, indReg := range []isa.Reg{br.Rs1, br.Rs2} {
+		if indReg == isa.R0 {
+			continue
+		}
+		otherReg := br.Rs1
+		if indReg == br.Rs1 {
+			otherReg = br.Rs2
+		}
+		upd, updBlk, ok := uniqueUpdate(g, l, indReg)
+		if !ok {
+			continue
+		}
+		// The update must run exactly once per full iteration: its block
+		// must belong directly to this loop (not a nested one) and
+		// dominate every back-edge source.
+		if updBlk.Loop() != l {
+			continue
+		}
+		dominatesAll := true
+		for _, be := range l.BackEdges {
+			if !updBlk.Dominates(be.From) {
+				dominatesAll = false
+			}
+		}
+		if !dominatesAll {
+			continue
+		}
+		// The other operand must be loop-invariant with a known constant.
+		var k int32
+		if otherReg == isa.R0 {
+			k = 0
+		} else {
+			if writesInLoop(g, l, otherReg) > 0 {
+				continue
+			}
+			v := entry.get(otherReg)
+			if v.Kind != Const {
+				continue
+			}
+			k = v.C
+		}
+		init := entry.get(indReg)
+		if init.Kind != Const {
+			continue
+		}
+		step := upd.Imm
+		if step == 0 {
+			continue
+		}
+		updateFirst := updBlk == branchBlk || updBlk.Dominates(branchBlk)
+		count, err := simulateTrip(br, indReg, init.C, step, k, contOnPred, updateFirst)
+		if err != nil {
+			continue
+		}
+		return Induction{Reg: indReg, Init: init.C, Step: step, Count: count}, nil
+	}
+	return Induction{}, fmt.Errorf("branch operands not a recognized induction pattern")
+}
+
+// simulateTrip executes the scalar loop to count header executions.
+func simulateTrip(br isa.Inst, indReg isa.Reg, init, step, k int32, contOnPred, updateFirst bool) (int, error) {
+	cont := func(v int32) bool {
+		var a, b int32
+		if br.Rs1 == indReg {
+			a, b = v, k
+		} else {
+			a, b = k, v
+		}
+		var pred bool
+		switch br.Op {
+		case isa.BEQ:
+			pred = a == b
+		case isa.BNE:
+			pred = a != b
+		case isa.BLT:
+			pred = a < b
+		case isa.BGE:
+			pred = a >= b
+		default:
+			return false
+		}
+		if contOnPred {
+			return pred
+		}
+		return !pred
+	}
+	v := init
+	count := 0
+	for {
+		count++
+		if count > maxTrip {
+			return 0, fmt.Errorf("loop exceeds %d iterations", maxTrip)
+		}
+		if updateFirst {
+			v += step
+			if !cont(v) {
+				return count, nil
+			}
+		} else {
+			if !cont(v) {
+				return count, nil
+			}
+			v += step
+		}
+	}
+}
+
+// uniqueUpdate finds the single instruction in the loop writing reg and
+// requires it to be `addi reg, reg, imm`.
+func uniqueUpdate(g *cfg.Graph, l *cfg.Loop, reg isa.Reg) (isa.Inst, *cfg.Block, bool) {
+	var found isa.Inst
+	var foundBlk *cfg.Block
+	n := 0
+	for _, b := range blocksOf(l) {
+		for _, in := range b.Insts() {
+			if writesReg(in, reg) {
+				n++
+				found, foundBlk = in, b
+			}
+		}
+	}
+	if n != 1 || found.Op != isa.ADDI || found.Rs1 != reg || found.Rd != reg {
+		return isa.Inst{}, nil, false
+	}
+	return found, foundBlk, true
+}
+
+func writesInLoop(g *cfg.Graph, l *cfg.Loop, reg isa.Reg) int {
+	n := 0
+	for _, b := range blocksOf(l) {
+		for _, in := range b.Insts() {
+			if writesReg(in, reg) {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// writesReg reports whether the instruction writes the register.
+func writesReg(in isa.Inst, reg isa.Reg) bool {
+	if reg == isa.R0 {
+		return false
+	}
+	switch in.Op {
+	case isa.LI, isa.MOV, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.REM,
+		isa.AND, isa.OR, isa.XOR, isa.SLL, isa.SRL, isa.SRA, isa.SLT,
+		isa.ADDI, isa.ANDI, isa.ORI, isa.SLLI, isa.SRLI, isa.SLTI, isa.LD:
+		return in.Rd == reg
+	case isa.CALL:
+		return reg == isa.RA
+	default:
+		return false
+	}
+}
+
+// blocksOf returns the loop's blocks in deterministic (RPO) order.
+func blocksOf(l *cfg.Loop) []*cfg.Block {
+	out := make([]*cfg.Block, 0, len(l.Blocks))
+	for _, b := range l.Blocks {
+		out = append(out, b)
+	}
+	// Sort by RPO for determinism.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].RPO() < out[j-1].RPO(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+// Package flow computes the flow facts static WCET analysis consumes:
+// loop bounds (derived automatically for counting loops or supplied as
+// annotations), additional linear path constraints for IPET, and
+// data-address information for data-cache analysis.
+//
+// The centre piece is a flow-sensitive constant-propagation analysis over
+// the task CFG; loop-bound derivation and address analysis are built on
+// top of it.
+package flow
+
+import (
+	"fmt"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// ValKind is the constant-propagation lattice level.
+type ValKind uint8
+
+// Lattice levels: Bot (unreached) ⊑ Const ⊑ Top (unknown).
+const (
+	Bot ValKind = iota
+	Const
+	Top
+)
+
+// Val is a lattice value for one register.
+type Val struct {
+	Kind ValKind
+	C    int32 // valid when Kind == Const
+}
+
+// ConstVal returns a constant lattice value.
+func ConstVal(c int32) Val { return Val{Kind: Const, C: c} }
+
+// TopVal returns the unknown lattice value.
+func TopVal() Val { return Val{Kind: Top} }
+
+func (v Val) String() string {
+	switch v.Kind {
+	case Bot:
+		return "⊥"
+	case Const:
+		return fmt.Sprint(v.C)
+	default:
+		return "⊤"
+	}
+}
+
+// join is the lattice join (least upper bound).
+func join(a, b Val) Val {
+	switch {
+	case a.Kind == Bot:
+		return b
+	case b.Kind == Bot:
+		return a
+	case a.Kind == Const && b.Kind == Const && a.C == b.C:
+		return a
+	default:
+		return TopVal()
+	}
+}
+
+// RegState is the abstract register file.
+type RegState [isa.NumRegs]Val
+
+func (s RegState) get(r isa.Reg) Val {
+	if r == isa.R0 {
+		return ConstVal(0)
+	}
+	return s[r]
+}
+
+func (s *RegState) set(r isa.Reg, v Val) {
+	if r != isa.R0 {
+		s[r] = v
+	}
+}
+
+func joinState(a, b RegState) RegState {
+	var out RegState
+	for i := range out {
+		out[i] = join(a[i], b[i])
+	}
+	return out
+}
+
+func stateEq(a, b RegState) bool { return a == b }
+
+// ConstProp holds the result of constant propagation: the abstract
+// register state at block entry and exit.
+type ConstProp struct {
+	g   *cfg.Graph
+	In  map[cfg.BlockID]RegState
+	Out map[cfg.BlockID]RegState
+}
+
+// PropagateConstants runs constant propagation to fixpoint. The entry
+// state is all-unknown (except the hardwired zero register): a task's
+// input registers are not assumed.
+func PropagateConstants(g *cfg.Graph) *ConstProp {
+	cp := &ConstProp{
+		g:   g,
+		In:  map[cfg.BlockID]RegState{},
+		Out: map[cfg.BlockID]RegState{},
+	}
+	var topEntry RegState
+	for i := range topEntry {
+		topEntry[i] = TopVal()
+	}
+	blocks := g.RPO()
+	cp.In[g.Entry.ID] = topEntry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			in := cp.In[b.ID] // zero value = all Bot for unvisited non-entry
+			if b != g.Entry {
+				var acc RegState // all Bot
+				for _, e := range b.Preds {
+					acc = joinState(acc, cp.Out[e.From.ID])
+				}
+				in = acc
+			}
+			out := TransferBlock(b, in)
+			if !stateEq(cp.In[b.ID], in) || !stateEq(cp.Out[b.ID], out) {
+				cp.In[b.ID] = in
+				cp.Out[b.ID] = out
+				changed = true
+			}
+		}
+	}
+	return cp
+}
+
+// TransferBlock applies the block's instructions to an abstract state.
+func TransferBlock(b *cfg.Block, in RegState) RegState {
+	if b.IsExit() {
+		return in
+	}
+	s := in
+	for i, inst := range b.Insts() {
+		s = TransferInst(inst, s, b.Addr(i))
+	}
+	return s
+}
+
+// TransferInst applies one instruction to an abstract state. addr is the
+// instruction's address (needed for CALL's link-register effect).
+func TransferInst(in isa.Inst, s RegState, addr uint32) RegState {
+	bin := func(f func(a, b int32) int32) {
+		a, b := s.get(in.Rs1), s.get(in.Rs2)
+		if a.Kind == Const && b.Kind == Const {
+			s.set(in.Rd, ConstVal(f(a.C, b.C)))
+		} else {
+			s.set(in.Rd, TopVal())
+		}
+	}
+	imm := func(f func(a, b int32) int32) {
+		a := s.get(in.Rs1)
+		if a.Kind == Const {
+			s.set(in.Rd, ConstVal(f(a.C, in.Imm)))
+		} else {
+			s.set(in.Rd, TopVal())
+		}
+	}
+	switch in.Op {
+	case isa.LI:
+		s.set(in.Rd, ConstVal(in.Imm))
+	case isa.MOV:
+		s.set(in.Rd, s.get(in.Rs1))
+	case isa.ADD:
+		bin(func(a, b int32) int32 { return a + b })
+	case isa.SUB:
+		bin(func(a, b int32) int32 { return a - b })
+	case isa.MUL:
+		bin(func(a, b int32) int32 { return a * b })
+	case isa.DIV:
+		bin(divVal)
+	case isa.REM:
+		bin(remVal)
+	case isa.AND:
+		bin(func(a, b int32) int32 { return a & b })
+	case isa.OR:
+		bin(func(a, b int32) int32 { return a | b })
+	case isa.XOR:
+		bin(func(a, b int32) int32 { return a ^ b })
+	case isa.SLL:
+		bin(func(a, b int32) int32 { return a << (uint32(b) & 31) })
+	case isa.SRL:
+		bin(func(a, b int32) int32 { return int32(uint32(a) >> (uint32(b) & 31)) })
+	case isa.SRA:
+		bin(func(a, b int32) int32 { return a >> (uint32(b) & 31) })
+	case isa.SLT:
+		bin(func(a, b int32) int32 { return b2i(a < b) })
+	case isa.ADDI:
+		imm(func(a, b int32) int32 { return a + b })
+	case isa.ANDI:
+		imm(func(a, b int32) int32 { return a & b })
+	case isa.ORI:
+		imm(func(a, b int32) int32 { return a | b })
+	case isa.SLLI:
+		imm(func(a, b int32) int32 { return a << (uint32(b) & 31) })
+	case isa.SRLI:
+		imm(func(a, b int32) int32 { return int32(uint32(a) >> (uint32(b) & 31)) })
+	case isa.SLTI:
+		imm(func(a, b int32) int32 { return b2i(a < b) })
+	case isa.LD:
+		s.set(in.Rd, TopVal()) // memory is not tracked
+	case isa.CALL:
+		s.set(isa.RA, ConstVal(int32(addr+isa.InstBytes)))
+	default:
+		// ST, branches, J, RET, NOP, HALT: no register effect.
+	}
+	return s
+}
+
+func divVal(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return 0
+	case a == -1<<31 && b == -1:
+		return -1 << 31
+	default:
+		return a / b
+	}
+}
+
+func remVal(a, b int32) int32 {
+	switch {
+	case b == 0:
+		return 0
+	case a == -1<<31 && b == -1:
+		return 0
+	default:
+		return a % b
+	}
+}
+
+func b2i(b bool) int32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,364 @@
+package ilp
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+func rat(n, d int64) *big.Rat { return big.NewRat(n, d) }
+
+// mustOptimal solves and asserts optimality.
+func mustOptimal(t *testing.T, m *Model) *Solution {
+	t.Helper()
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Optimal {
+		t.Fatalf("status = %v, want optimal\n%s", sol.Status, m)
+	}
+	return sol
+}
+
+func TestLPSimple2D(t *testing.T) {
+	// max 3x + 2y s.t. x+y <= 4, x+3y <= 6 -> x=4, y=0, obj=12.
+	m := NewModel()
+	x, y := m.AddVar("x"), m.AddVar("y")
+	m.AddConstraintInt("c1", NewLin().AddInt(x, 1).AddInt(y, 1), LE, 4)
+	m.AddConstraintInt("c2", NewLin().AddInt(x, 1).AddInt(y, 3), LE, 6)
+	m.SetObjective(NewLin().AddInt(x, 3).AddInt(y, 2))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(12, 1)) != 0 {
+		t.Errorf("obj = %s, want 12", sol.Value.RatString())
+	}
+	if sol.X[x].Cmp(rat(4, 1)) != 0 || sol.X[y].Sign() != 0 {
+		t.Errorf("x,y = %s,%s want 4,0", sol.X[x].RatString(), sol.X[y].RatString())
+	}
+}
+
+func TestLPFractionalOptimum(t *testing.T) {
+	// max x + y s.t. 2x+y <= 3, x+2y <= 3 -> x=y=1 obj=2 (integral corner);
+	// change to 2x+y<=2, x+2y<=2 -> x=y=2/3, obj=4/3.
+	m := NewModel()
+	x, y := m.AddVar("x"), m.AddVar("y")
+	m.AddConstraintInt("c1", NewLin().AddInt(x, 2).AddInt(y, 1), LE, 2)
+	m.AddConstraintInt("c2", NewLin().AddInt(x, 1).AddInt(y, 2), LE, 2)
+	m.SetObjective(NewLin().AddInt(x, 1).AddInt(y, 1))
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Value.Cmp(rat(4, 3)) != 0 {
+		t.Errorf("obj = %s, want 4/3", sol.Value.RatString())
+	}
+}
+
+func TestLPEqualityAndGE(t *testing.T) {
+	// max x s.t. x + y = 10, x >= 2, y >= 3  -> x = 7.
+	m := NewModel()
+	x, y := m.AddVar("x"), m.AddVar("y")
+	m.AddConstraintInt("sum", NewLin().AddInt(x, 1).AddInt(y, 1), EQ, 10)
+	m.AddConstraintInt("xmin", NewLin().AddInt(x, 1), GE, 2)
+	m.AddConstraintInt("ymin", NewLin().AddInt(y, 1), GE, 3)
+	m.SetObjective(NewLin().AddInt(x, 1))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(7, 1)) != 0 {
+		t.Errorf("obj = %s, want 7", sol.Value.RatString())
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.AddConstraintInt("lo", NewLin().AddInt(x, 1), GE, 5)
+	m.AddConstraintInt("hi", NewLin().AddInt(x, 1), LE, 3)
+	m.SetObjective(NewLin().AddInt(x, 1))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVar("x")
+	m.AddConstraintInt("lo", NewLin().AddInt(x, 1), GE, 1)
+	m.SetObjective(NewLin().AddInt(x, 1))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Unbounded {
+		t.Errorf("status = %v, want unbounded", sol.Status)
+	}
+}
+
+func TestLPNegativeLowerBound(t *testing.T) {
+	// max -x with x in [-5, 10] -> x = -5, obj = 5.
+	m := NewModel()
+	x := m.AddVar("x")
+	m.SetBounds(x, rat(-5, 1), rat(10, 1))
+	m.SetObjective(NewLin().AddInt(x, -1))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(5, 1)) != 0 || sol.X[x].Cmp(rat(-5, 1)) != 0 {
+		t.Errorf("obj=%s x=%s, want 5, -5", sol.Value.RatString(), sol.X[x].RatString())
+	}
+}
+
+func TestLPDegenerate(t *testing.T) {
+	// Degenerate vertex: redundant constraints through the optimum.
+	m := NewModel()
+	x, y := m.AddVar("x"), m.AddVar("y")
+	m.AddConstraintInt("c1", NewLin().AddInt(x, 1).AddInt(y, 1), LE, 1)
+	m.AddConstraintInt("c2", NewLin().AddInt(x, 1), LE, 1)
+	m.AddConstraintInt("c3", NewLin().AddInt(x, 2).AddInt(y, 2), LE, 2)
+	m.SetObjective(NewLin().AddInt(x, 1).AddInt(y, 1))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(1, 1)) != 0 {
+		t.Errorf("obj = %s, want 1", sol.Value.RatString())
+	}
+}
+
+func TestILPKnapsack(t *testing.T) {
+	// max 10a + 13b + 7c s.t. 3a+4b+2c <= 6, binary -> a=0 b=1 c=1: 20.
+	m := NewModel()
+	vars := []Var{m.AddIntVar("a"), m.AddIntVar("b"), m.AddIntVar("c")}
+	for _, v := range vars {
+		m.SetBounds(v, rat(0, 1), rat(1, 1))
+	}
+	m.AddConstraintInt("cap", NewLin().AddInt(vars[0], 3).AddInt(vars[1], 4).AddInt(vars[2], 2), LE, 6)
+	m.SetObjective(NewLin().AddInt(vars[0], 10).AddInt(vars[1], 13).AddInt(vars[2], 7))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(20, 1)) != 0 {
+		t.Errorf("obj = %s, want 20", sol.Value.RatString())
+	}
+	if sol.IntValue(vars[1]) != 1 || sol.IntValue(vars[2]) != 1 || sol.IntValue(vars[0]) != 0 {
+		t.Errorf("selection = %v,%v,%v want 0,1,1",
+			sol.X[vars[0]], sol.X[vars[1]], sol.X[vars[2]])
+	}
+}
+
+func TestILPRoundingMatters(t *testing.T) {
+	// LP optimum fractional; ILP optimum differs from naive rounding.
+	// max y s.t. -x + y <= 1/2, x + y <= 7/2, x,y int -> best y = 2 (x=1 or 2... check):
+	// y <= min(1/2 + x, 7/2 - x); best integer x=1: y <= 3/2 -> y=1? x=2: y<=3/2? 7/2-2=3/2.
+	// Hmm: x=1: y <= 1.5 -> 1; x=2: y <= 1.5 -> 1. LP: x=3/2, y=2. So ILP y=1.
+	m := NewModel()
+	x, y := m.AddIntVar("x"), m.AddIntVar("y")
+	m.AddConstraint("c1", NewLin().AddInt(x, -1).AddInt(y, 1), LE, rat(1, 2))
+	m.AddConstraint("c2", NewLin().AddInt(x, 1).AddInt(y, 1), LE, rat(7, 2))
+	m.SetObjective(NewLin().AddInt(y, 1))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(1, 1)) != 0 {
+		t.Errorf("obj = %s, want 1 (LP relaxation would give 2)", sol.Value.RatString())
+	}
+	if sol.Nodes <= 1 {
+		t.Errorf("expected branching, got %d nodes", sol.Nodes)
+	}
+}
+
+func TestILPEqualityInteger(t *testing.T) {
+	// max 2x + 3y s.t. x + y = 5, x <= 3, int -> x=2? obj max: prefer y:
+	// y=5,x=0 -> 15.
+	m := NewModel()
+	x, y := m.AddIntVar("x"), m.AddIntVar("y")
+	m.AddConstraintInt("sum", NewLin().AddInt(x, 1).AddInt(y, 1), EQ, 5)
+	m.AddConstraintInt("xcap", NewLin().AddInt(x, 1), LE, 3)
+	m.SetObjective(NewLin().AddInt(x, 2).AddInt(y, 3))
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(15, 1)) != 0 {
+		t.Errorf("obj = %s, want 15", sol.Value.RatString())
+	}
+}
+
+func TestILPInfeasibleIntegrality(t *testing.T) {
+	// 2x = 3 has no integer solution.
+	m := NewModel()
+	x := m.AddIntVar("x")
+	m.AddConstraintInt("c", NewLin().AddInt(x, 2), EQ, 3)
+	m.SetObjective(NewLin().AddInt(x, 1))
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != Infeasible {
+		t.Errorf("status = %v, want infeasible", sol.Status)
+	}
+}
+
+func TestLinAddMergesAndCancels(t *testing.T) {
+	l := NewLin().AddInt(0, 2).AddInt(0, 3)
+	if l[0].Cmp(rat(5, 1)) != 0 {
+		t.Errorf("merge failed: %v", l[0])
+	}
+	l.AddInt(0, -5)
+	if _, ok := l[0]; ok {
+		t.Error("zero coefficient not removed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	m := NewModel()
+	x := m.AddIntVar("x")
+	m.SetBounds(x, rat(0, 1), rat(9, 1))
+	m.AddConstraintInt("c", NewLin().AddInt(x, 1), LE, 5)
+	m.SetObjective(NewLin().AddInt(x, 1))
+	c := m.Clone()
+	c.SetBounds(x, rat(0, 1), rat(2, 1))
+	c.AddConstraintInt("c2", NewLin().AddInt(x, 1), LE, 1)
+	sol := mustOptimal(t, m)
+	if sol.Value.Cmp(rat(5, 1)) != 0 {
+		t.Errorf("clone mutation leaked into original: obj = %s, want 5", sol.Value.RatString())
+	}
+}
+
+func TestFloorRat(t *testing.T) {
+	cases := []struct {
+		x    *big.Rat
+		want *big.Rat
+	}{
+		{rat(7, 2), rat(3, 1)},
+		{rat(-7, 2), rat(-4, 1)},
+		{rat(4, 1), rat(4, 1)},
+		{rat(-4, 1), rat(-4, 1)},
+		{rat(0, 1), rat(0, 1)},
+	}
+	for _, c := range cases {
+		if got := floorRat(c.x); got.Cmp(c.want) != 0 {
+			t.Errorf("floor(%s) = %s, want %s", c.x.RatString(), got.RatString(), c.want.RatString())
+		}
+	}
+}
+
+// TestILPRandomVsBruteForce cross-checks small random bounded ILPs against
+// exhaustive enumeration.
+func TestILPRandomVsBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(2) // 2..3 vars, each in [0,4]
+		ub := int64(4)
+		m := NewModel()
+		vars := make([]Var, n)
+		obj := NewLin()
+		for i := range vars {
+			vars[i] = m.AddIntVar("v")
+			m.SetBounds(vars[i], rat(0, 1), rat(ub, 1))
+			obj.AddInt(vars[i], int64(rng.Intn(11)-3))
+		}
+		m.SetObjective(obj)
+		nCons := 1 + rng.Intn(3)
+		type consRec struct {
+			coef []int64
+			s    Sense
+			rhs  int64
+		}
+		var recs []consRec
+		for c := 0; c < nCons; c++ {
+			coef := make([]int64, n)
+			l := NewLin()
+			for i := range coef {
+				coef[i] = int64(rng.Intn(7) - 2)
+				l.AddInt(vars[i], coef[i])
+			}
+			s := Sense(rng.Intn(3))
+			rhs := int64(rng.Intn(13) - 2)
+			recs = append(recs, consRec{coef, s, rhs})
+			m.AddConstraintInt("c", l, s, rhs)
+		}
+		// Brute force.
+		bestVal := int64(0)
+		found := false
+		var enum func(i int, x []int64)
+		enum = func(i int, x []int64) {
+			if i == n {
+				for _, r := range recs {
+					lhs := int64(0)
+					for k := range x {
+						lhs += r.coef[k] * x[k]
+					}
+					switch r.s {
+					case LE:
+						if lhs > r.rhs {
+							return
+						}
+					case GE:
+						if lhs < r.rhs {
+							return
+						}
+					case EQ:
+						if lhs != r.rhs {
+							return
+						}
+					}
+				}
+				val := int64(0)
+				for k := range x {
+					c := obj[vars[k]]
+					if c != nil {
+						val += c.Num().Int64() * x[k]
+					}
+				}
+				if !found || val > bestVal {
+					bestVal, found = val, true
+				}
+				return
+			}
+			for v := int64(0); v <= ub; v++ {
+				x[i] = v
+				enum(i+1, x)
+			}
+		}
+		enum(0, make([]int64, n))
+
+		sol, err := m.Solve()
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, m)
+		}
+		if !found {
+			if sol.Status != Infeasible {
+				t.Errorf("trial %d: solver %v, brute force infeasible\n%s", trial, sol.Status, m)
+			}
+			continue
+		}
+		if sol.Status != Optimal {
+			t.Errorf("trial %d: solver %v, brute force optimal %d\n%s", trial, sol.Status, bestVal, m)
+			continue
+		}
+		if sol.Value.Cmp(rat(bestVal, 1)) != 0 {
+			t.Errorf("trial %d: solver %s, brute force %d\n%s", trial, sol.Value.RatString(), bestVal, m)
+		}
+	}
+}
+
+func BenchmarkILPMediumIPETShape(b *testing.B) {
+	// A chain of diamonds, shaped like an IPET model: flow conservation
+	// plus bounds.
+	build := func() *Model {
+		m := NewModel()
+		const k = 20
+		prev := m.AddIntVar("e0")
+		m.AddConstraintInt("entry", NewLin().AddInt(prev, 1), EQ, 1)
+		obj := NewLin()
+		for i := 0; i < k; i++ {
+			a, b2 := m.AddIntVar("a"), m.AddIntVar("b")
+			out := m.AddIntVar("o")
+			m.AddConstraintInt("split", NewLin().AddInt(prev, 1).AddInt(a, -1).AddInt(b2, -1), EQ, 0)
+			m.AddConstraintInt("join", NewLin().AddInt(out, 1).AddInt(a, -1).AddInt(b2, -1), EQ, 0)
+			obj.AddInt(a, int64(3+i%5)).AddInt(b2, int64(7+i%3))
+			prev = out
+		}
+		m.SetObjective(obj)
+		return m
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := build()
+		if _, err := m.Solve(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

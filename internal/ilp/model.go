@@ -1,0 +1,275 @@
+// Package ilp provides an exact integer linear programming solver built on
+// math/big rational arithmetic: a two-phase primal simplex for the LP
+// relaxation and depth-first branch and bound for integrality.
+//
+// It exists because the Implicit Path Enumeration Technique (IPET) at the
+// heart of static WCET analysis formulates the longest-path problem as an
+// ILP, and the paratime toolkit is offline and self-contained — no external
+// solver. Exact rationals sidestep the numerical-tolerance pitfalls of
+// floating-point simplex at the modest model sizes IPET produces
+// (hundreds of variables and constraints).
+package ilp
+
+import (
+	"fmt"
+	"math/big"
+	"sort"
+	"strings"
+)
+
+// Var is a variable handle within one Model.
+type Var int
+
+// Sense is a constraint comparison direction.
+type Sense uint8
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ aᵢxᵢ ≤ b
+	GE              // Σ aᵢxᵢ ≥ b
+	EQ              // Σ aᵢxᵢ = b
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Lin is a sparse linear expression Σ coef·var.
+type Lin map[Var]*big.Rat
+
+// NewLin returns an empty linear expression.
+func NewLin() Lin { return Lin{} }
+
+// Add accumulates coef·v into the expression and returns it for chaining.
+func (l Lin) Add(v Var, coef *big.Rat) Lin {
+	if c, ok := l[v]; ok {
+		c.Add(c, coef)
+		if c.Sign() == 0 {
+			delete(l, v)
+		}
+		return l
+	}
+	if coef.Sign() != 0 {
+		l[v] = new(big.Rat).Set(coef)
+	}
+	return l
+}
+
+// AddInt accumulates an integer coefficient.
+func (l Lin) AddInt(v Var, coef int64) Lin { return l.Add(v, big.NewRat(coef, 1)) }
+
+// Clone returns a deep copy.
+func (l Lin) Clone() Lin {
+	out := make(Lin, len(l))
+	for v, c := range l {
+		out[v] = new(big.Rat).Set(c)
+	}
+	return out
+}
+
+// Eval evaluates the expression at the given point.
+func (l Lin) Eval(x []*big.Rat) *big.Rat {
+	sum := new(big.Rat)
+	t := new(big.Rat)
+	for v, c := range l {
+		sum.Add(sum, t.Mul(c, x[v]))
+	}
+	return new(big.Rat).Set(sum)
+}
+
+type constraint struct {
+	name  string
+	terms Lin
+	sense Sense
+	rhs   *big.Rat
+}
+
+// Model is an ILP/LP model. Variables have a finite lower bound
+// (default 0) and an optional upper bound; integrality is per-variable.
+// The objective is always maximized (negate coefficients to minimize).
+type Model struct {
+	names     []string
+	integer   []bool
+	lower     []*big.Rat
+	upper     []*big.Rat // nil = +inf
+	objective Lin
+	cons      []constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{objective: NewLin()} }
+
+// NumVars returns the number of variables.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumCons returns the number of constraints.
+func (m *Model) NumCons() int { return len(m.cons) }
+
+// AddVar adds a continuous variable with bounds [0, +inf).
+func (m *Model) AddVar(name string) Var {
+	m.names = append(m.names, name)
+	m.integer = append(m.integer, false)
+	m.lower = append(m.lower, new(big.Rat))
+	m.upper = append(m.upper, nil)
+	return Var(len(m.names) - 1)
+}
+
+// AddIntVar adds an integer variable with bounds [0, +inf).
+func (m *Model) AddIntVar(name string) Var {
+	v := m.AddVar(name)
+	m.integer[v] = true
+	return v
+}
+
+// SetBounds sets the variable bounds; upper may be nil for +inf. The lower
+// bound must be finite and ≤ upper.
+func (m *Model) SetBounds(v Var, lower, upper *big.Rat) {
+	if lower == nil {
+		lower = new(big.Rat)
+	}
+	m.lower[v] = new(big.Rat).Set(lower)
+	if upper == nil {
+		m.upper[v] = nil
+	} else {
+		m.upper[v] = new(big.Rat).Set(upper)
+	}
+}
+
+// Name returns the variable's name.
+func (m *Model) Name(v Var) string { return m.names[v] }
+
+// AddConstraint appends a constraint. The terms are copied.
+func (m *Model) AddConstraint(name string, terms Lin, sense Sense, rhs *big.Rat) {
+	m.cons = append(m.cons, constraint{
+		name:  name,
+		terms: terms.Clone(),
+		sense: sense,
+		rhs:   new(big.Rat).Set(rhs),
+	})
+}
+
+// AddConstraintInt is AddConstraint with an integer right-hand side.
+func (m *Model) AddConstraintInt(name string, terms Lin, sense Sense, rhs int64) {
+	m.AddConstraint(name, terms, sense, big.NewRat(rhs, 1))
+}
+
+// SetObjective replaces the (maximized) objective.
+func (m *Model) SetObjective(terms Lin) { m.objective = terms.Clone() }
+
+// Clone returns a deep copy of the model.
+func (m *Model) Clone() *Model {
+	c := &Model{
+		names:     append([]string(nil), m.names...),
+		integer:   append([]bool(nil), m.integer...),
+		objective: m.objective.Clone(),
+	}
+	c.lower = make([]*big.Rat, len(m.lower))
+	c.upper = make([]*big.Rat, len(m.upper))
+	for i := range m.lower {
+		c.lower[i] = new(big.Rat).Set(m.lower[i])
+		if m.upper[i] != nil {
+			c.upper[i] = new(big.Rat).Set(m.upper[i])
+		}
+	}
+	c.cons = make([]constraint, len(m.cons))
+	for i, con := range m.cons {
+		c.cons[i] = constraint{name: con.name, terms: con.terms.Clone(), sense: con.sense, rhs: new(big.Rat).Set(con.rhs)}
+	}
+	return c
+}
+
+// String renders the model in LP-like text form for debugging.
+func (m *Model) String() string {
+	var sb strings.Builder
+	sb.WriteString("max ")
+	sb.WriteString(m.linString(m.objective))
+	sb.WriteString("\ns.t.\n")
+	for _, c := range m.cons {
+		fmt.Fprintf(&sb, "  %s: %s %s %s\n", c.name, m.linString(c.terms), c.sense, c.rhs.RatString())
+	}
+	for i := range m.names {
+		up := "+inf"
+		if m.upper[i] != nil {
+			up = m.upper[i].RatString()
+		}
+		kind := ""
+		if m.integer[i] {
+			kind = " int"
+		}
+		fmt.Fprintf(&sb, "  %s in [%s, %s]%s\n", m.names[i], m.lower[i].RatString(), up, kind)
+	}
+	return sb.String()
+}
+
+func (m *Model) linString(l Lin) string {
+	vars := make([]Var, 0, len(l))
+	for v := range l {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	var parts []string
+	for _, v := range vars {
+		parts = append(parts, fmt.Sprintf("%s*%s", l[v].RatString(), m.names[v]))
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Status reports the outcome of a solve.
+type Status uint8
+
+// Solve outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return "?"
+	}
+}
+
+// Solution is the result of a solve.
+type Solution struct {
+	Status Status
+	Value  *big.Rat   // objective value (valid when Optimal)
+	X      []*big.Rat // variable values (valid when Optimal)
+
+	// Nodes is the number of branch-and-bound nodes explored (1 for a
+	// pure LP).
+	Nodes int
+}
+
+// ValueFloat returns the objective as a float64 for reporting.
+func (s *Solution) ValueFloat() float64 {
+	f, _ := s.Value.Float64()
+	return f
+}
+
+// IntValue returns variable v rounded to the nearest integer; it panics if
+// the value is not integral (callers use it only for integer variables of
+// an Optimal solution).
+func (s *Solution) IntValue(v Var) int64 {
+	if !s.X[v].IsInt() {
+		panic(fmt.Sprintf("variable %d is not integral: %s", v, s.X[v].RatString()))
+	}
+	return s.X[v].Num().Int64()
+}

@@ -1,0 +1,306 @@
+package ilp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// maxPivots bounds simplex iterations as a defensive backstop; Bland's
+// rule guarantees termination, so hitting the bound indicates a bug.
+const maxPivots = 1_000_000
+
+// tableau is a dense exact-rational simplex tableau.
+//
+// Layout: rows[r][c] for c < ncols are coefficients, rows[r][ncols] is the
+// right-hand side. cost holds reduced costs; cost[ncols] is the current
+// objective value. basis[r] is the variable index basic in row r.
+type tableau struct {
+	rows  [][]*big.Rat
+	cost  []*big.Rat
+	basis []int
+	ncols int
+	nart  int // number of artificial columns (at the end)
+}
+
+// lpResult carries the LP outcome in shifted coordinates.
+type lpResult struct {
+	status Status
+	y      []*big.Rat // structural variable values (shifted by lower bounds)
+}
+
+// solveLP solves the LP relaxation of the model (ignoring integrality).
+// The returned values are in original coordinates.
+func (m *Model) solveLP() (*Solution, error) {
+	n := m.NumVars()
+	// Shift variables by lower bounds: y = x - l, y >= 0.
+	// Build rows: structural constraints plus upper-bound rows.
+	type row struct {
+		coef  []*big.Rat
+		sense Sense
+		rhs   *big.Rat
+	}
+	var rows []row
+	t := new(big.Rat)
+	for _, c := range m.cons {
+		coef := make([]*big.Rat, n)
+		rhs := new(big.Rat).Set(c.rhs)
+		for v, a := range c.terms {
+			coef[v] = new(big.Rat).Set(a)
+			rhs.Sub(rhs, t.Mul(a, m.lower[v]))
+		}
+		rows = append(rows, row{coef: coef, sense: c.sense, rhs: rhs})
+	}
+	for v := 0; v < n; v++ {
+		if m.upper[v] == nil {
+			continue
+		}
+		span := new(big.Rat).Sub(m.upper[v], m.lower[v])
+		if span.Sign() < 0 {
+			return &Solution{Status: Infeasible, Nodes: 1}, nil
+		}
+		coef := make([]*big.Rat, n)
+		coef[v] = big.NewRat(1, 1)
+		rows = append(rows, row{coef: coef, sense: LE, rhs: span})
+	}
+	// Normalize RHS >= 0.
+	for i := range rows {
+		if rows[i].rhs.Sign() < 0 {
+			rows[i].rhs.Neg(rows[i].rhs)
+			for v, a := range rows[i].coef {
+				if a != nil {
+					rows[i].coef[v] = a.Neg(a)
+				}
+			}
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	// Column layout: [0,n) structural, then slacks/surplus, then artificials.
+	nSlack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nArt++
+		}
+	}
+	ncols := n + nSlack + nArt
+	tb := &tableau{ncols: ncols, nart: nArt}
+	slackAt, artAt := n, n+nSlack
+	for _, r := range rows {
+		tr := make([]*big.Rat, ncols+1)
+		for c := range tr {
+			tr[c] = new(big.Rat)
+		}
+		for v, a := range r.coef {
+			if a != nil {
+				tr[v].Set(a)
+			}
+		}
+		tr[ncols].Set(r.rhs)
+		basic := -1
+		switch r.sense {
+		case LE:
+			tr[slackAt].SetInt64(1)
+			basic = slackAt
+			slackAt++
+		case GE:
+			tr[slackAt].SetInt64(-1)
+			slackAt++
+			tr[artAt].SetInt64(1)
+			basic = artAt
+			artAt++
+		case EQ:
+			tr[artAt].SetInt64(1)
+			basic = artAt
+			artAt++
+		}
+		tb.rows = append(tb.rows, tr)
+		tb.basis = append(tb.basis, basic)
+	}
+
+	if nArt > 0 {
+		// Phase 1: maximize -(sum of artificials).
+		phase1 := make([]*big.Rat, ncols+1)
+		for c := range phase1 {
+			phase1[c] = new(big.Rat)
+		}
+		for c := n + nSlack; c < ncols; c++ {
+			phase1[c].SetInt64(-1)
+		}
+		tb.cost = phase1
+		tb.priceOut()
+		if st := tb.run(); st != Optimal {
+			return nil, fmt.Errorf("phase-1 simplex returned %v", st)
+		}
+		if tb.cost[ncols].Sign() != 0 {
+			return &Solution{Status: Infeasible, Nodes: 1}, nil
+		}
+		if err := tb.evictArtificials(n + nSlack); err != nil {
+			return nil, err
+		}
+	}
+	// Phase 2: real objective. Note tb.ncols may have shrunk when
+	// artificial columns were evicted.
+	cost := make([]*big.Rat, tb.ncols+1)
+	for c := range cost {
+		cost[c] = new(big.Rat)
+	}
+	for v, a := range m.objective {
+		cost[v].Set(a)
+	}
+	tb.cost = cost
+	tb.priceOut()
+	if st := tb.run(); st != Optimal {
+		return &Solution{Status: st, Nodes: 1}, nil
+	}
+	// Extract solution.
+	x := make([]*big.Rat, n)
+	for v := 0; v < n; v++ {
+		x[v] = new(big.Rat).Set(m.lower[v])
+	}
+	for r, b := range tb.basis {
+		if b < n {
+			x[b].Add(m.lower[b], tb.rows[r][tb.ncols])
+		}
+	}
+	return &Solution{Status: Optimal, Value: m.objective.Eval(x), X: x, Nodes: 1}, nil
+}
+
+// priceOut rewrites the cost row in terms of nonbasic variables by
+// eliminating the basic columns.
+func (tb *tableau) priceOut() {
+	t := new(big.Rat)
+	for r, b := range tb.basis {
+		cb := tb.cost[b]
+		if cb.Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(cb)
+		for c := 0; c <= tb.ncols; c++ {
+			if tb.rows[r][c].Sign() != 0 {
+				tb.cost[c].Sub(tb.cost[c], t.Mul(f, tb.rows[r][c]))
+			}
+		}
+		// cost[ncols] accumulated -f*rhs; objective value convention:
+		// cost[ncols] tracks -z, negate when reading. See value().
+	}
+}
+
+// run performs primal simplex pivots with Bland's rule until optimality
+// or unboundedness. The cost row must already be priced out.
+func (tb *tableau) run() Status {
+	for pivots := 0; pivots < maxPivots; pivots++ {
+		// Entering: smallest index with positive reduced cost.
+		enter := -1
+		for c := 0; c < tb.ncols; c++ {
+			if tb.cost[c].Sign() > 0 {
+				enter = c
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal. Normalize stored objective value to +z.
+			tb.cost[tb.ncols].Neg(tb.cost[tb.ncols])
+			return Optimal
+		}
+		// Leaving: min ratio rhs/a over a > 0; ties by smallest basis var.
+		leave := -1
+		var best *big.Rat
+		ratio := new(big.Rat)
+		for r := 0; r < len(tb.rows); r++ {
+			a := tb.rows[r][enter]
+			if a.Sign() <= 0 {
+				continue
+			}
+			ratio.Quo(tb.rows[r][tb.ncols], a)
+			switch {
+			case leave < 0 || ratio.Cmp(best) < 0:
+				leave = r
+				best = new(big.Rat).Set(ratio)
+			case ratio.Cmp(best) == 0 && tb.basis[r] < tb.basis[leave]:
+				leave = r
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		tb.pivot(leave, enter)
+	}
+	panic("ilp: simplex exceeded pivot budget (cycling bug)")
+}
+
+// pivot makes column c basic in row r.
+func (tb *tableau) pivot(r, c int) {
+	prow := tb.rows[r]
+	inv := new(big.Rat).Inv(prow[c])
+	for j := 0; j <= tb.ncols; j++ {
+		prow[j].Mul(prow[j], inv)
+	}
+	t := new(big.Rat)
+	for i := 0; i < len(tb.rows); i++ {
+		if i == r || tb.rows[i][c].Sign() == 0 {
+			continue
+		}
+		f := new(big.Rat).Set(tb.rows[i][c])
+		for j := 0; j <= tb.ncols; j++ {
+			if prow[j].Sign() != 0 {
+				tb.rows[i][j].Sub(tb.rows[i][j], t.Mul(f, prow[j]))
+			}
+		}
+	}
+	if tb.cost[c].Sign() != 0 {
+		f := new(big.Rat).Set(tb.cost[c])
+		for j := 0; j <= tb.ncols; j++ {
+			if prow[j].Sign() != 0 {
+				tb.cost[j].Sub(tb.cost[j], t.Mul(f, prow[j]))
+			}
+		}
+	}
+	tb.basis[r] = c
+}
+
+// evictArtificials pivots artificial variables out of the basis after a
+// successful phase 1, dropping redundant rows.
+func (tb *tableau) evictArtificials(firstArt int) error {
+	var keepRows [][]*big.Rat
+	var keepBasis []int
+	for r := 0; r < len(tb.rows); r++ {
+		if tb.basis[r] < firstArt {
+			keepRows = append(keepRows, tb.rows[r])
+			keepBasis = append(keepBasis, tb.basis[r])
+			continue
+		}
+		// Artificial basic at value 0 (phase 1 succeeded): pivot on any
+		// non-artificial column with nonzero coefficient, else the row is
+		// redundant and dropped.
+		pivoted := false
+		for c := 0; c < firstArt; c++ {
+			if tb.rows[r][c].Sign() != 0 {
+				tb.pivot(r, c)
+				pivoted = true
+				break
+			}
+		}
+		if pivoted {
+			keepRows = append(keepRows, tb.rows[r])
+			keepBasis = append(keepBasis, tb.basis[r])
+		}
+	}
+	tb.rows = keepRows
+	tb.basis = keepBasis
+	// Truncate artificial columns.
+	tb.ncols = firstArt
+	for r := range tb.rows {
+		tb.rows[r] = append(tb.rows[r][:firstArt], tb.rows[r][len(tb.rows[r])-1])
+	}
+	return nil
+}

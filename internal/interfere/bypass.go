@@ -1,0 +1,106 @@
+package interfere
+
+import (
+	"paratime/internal/cache"
+	"paratime/internal/core"
+)
+
+// SingleUsageLines returns the L2 lines of a task that are touched by
+// exactly one static reference outside any loop — Hardy et al.'s
+// single-usage program blocks (§4.1, RTSS 2009). Caching such a line in
+// the shared L2 can never produce a hit (it is accessed once per run), so
+// bypassing it costs nothing and removes its conflicts from co-runners.
+func SingleUsageLines(a *core.Analysis) map[cache.LineID]bool {
+	if a.L2 == nil {
+		return nil
+	}
+	cfgL2 := a.L2.Cfg
+	refsPerLine := map[cache.LineID]int{}
+	inLoop := map[cache.LineID]bool{}
+	for _, b := range a.G.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		for seq, r := range a.Merged.Refs[b.ID] {
+			id := cache.RefID{Block: b.ID, Seq: seq}
+			if a.CAC[id] == cache.Never {
+				continue
+			}
+			var lines []cache.LineID
+			switch {
+			case r.Exact:
+				lines = []cache.LineID{cfgL2.LineOf(r.Addr)}
+			case r.Unknown:
+				return nil // cannot prove single usage for anything
+			default:
+				lines = cfgL2.LinesOf(r.Addrs)
+			}
+			for _, ln := range lines {
+				refsPerLine[ln]++
+				if b.Loop() != nil {
+					inLoop[ln] = true
+				}
+			}
+		}
+	}
+	out := map[cache.LineID]bool{}
+	for ln, n := range refsPerLine {
+		if n == 1 && !inLoop[ln] {
+			out[ln] = true
+		}
+	}
+	return out
+}
+
+// ApplyBypass marks every reference to a single-usage line as bypassing
+// the L2 and recomputes the task's L2 analysis. It returns the number of
+// references bypassed. Run it on every task BEFORE a joint analysis:
+// bypassed lines stop polluting the shared cache, shrinking everyone
+// else's conflict sets (the mechanism behind Hardy et al.'s WCET gains).
+func ApplyBypass(a *core.Analysis) (int, error) {
+	if a.L2 == nil {
+		return 0, nil
+	}
+	single := SingleUsageLines(a)
+	if len(single) == 0 {
+		return 0, nil
+	}
+	cfgL2 := a.L2.Cfg
+	n := 0
+	for _, b := range a.G.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		for seq, r := range a.Merged.Refs[b.ID] {
+			id := cache.RefID{Block: b.ID, Seq: seq}
+			if a.CAC[id] == cache.Never || a.Bypass[id] {
+				continue
+			}
+			bypass := false
+			switch {
+			case r.Exact:
+				bypass = single[cfgL2.LineOf(r.Addr)]
+			case r.Unknown:
+			default:
+				bypass = true
+				for _, ln := range cfgL2.LinesOf(r.Addrs) {
+					if !single[ln] {
+						bypass = false
+						break
+					}
+				}
+			}
+			if bypass {
+				a.Bypass[id] = true
+				a.CAC[id] = cache.Never
+				n++
+			}
+		}
+	}
+	if n > 0 {
+		if err := a.RecomputeL2(); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

@@ -1,0 +1,156 @@
+package interfere
+
+import (
+	"fmt"
+)
+
+// Segment is a yield-free region of a fine-grained-multithreading thread
+// (Crowley & Baer's network-processor model, §5.1): Compute cycles of
+// pipeline work ending in a long-latency operation that stalls the thread
+// for Stall cycles and yields the core.
+type Segment struct {
+	Compute int64
+	Stall   int64
+}
+
+// YieldThread is one thread of the pipelined packet-handling application:
+// a straight sequence of segments (loops must be unrolled or summarized
+// into segment costs by a per-thread WCET analysis first, exactly as
+// Crowley & Baer feed per-path costs into their global ILP).
+type YieldThread struct {
+	Name     string
+	Segments []Segment
+}
+
+// YieldResult is the joint analysis outcome.
+type YieldResult struct {
+	// WCET is the exact worst-case makespan over all switch-on-yield
+	// interleavings.
+	WCET int64
+	// States is the number of distinct global states explored — the
+	// survey's scalability complaint made measurable.
+	States int
+	// SumSerial is the trivial no-overlap bound (all segments serialized,
+	// stalls unhidden): the joint analysis must never exceed it.
+	SumSerial int64
+}
+
+// maxYieldStates caps the exploration; exceeding it returns an error,
+// which is itself the survey's point about this family of analyses.
+const maxYieldStates = 2_000_000
+
+// AnalyzeYield computes the worst-case makespan of a switch-on-yield
+// fine-grained multithreaded core running the given threads, by explicit
+// exploration of the global state space (positions × stall lags ×
+// active-thread choice). Control passes round-robin to the next ready
+// thread on every yield; when every thread is stalled, time advances to
+// the earliest wake-up.
+//
+// The state space is the product of all thread positions and stall
+// remainders — it grows multiplicatively with thread count and length,
+// reproducing the survey's conclusion that the approach "is not scalable
+// and cannot handle complex applications".
+func AnalyzeYield(threads []YieldThread) (*YieldResult, error) {
+	n := len(threads)
+	if n == 0 {
+		return nil, fmt.Errorf("interfere: no threads")
+	}
+	var sumSerial int64
+	for _, th := range threads {
+		for _, s := range th.Segments {
+			sumSerial += s.Compute + s.Stall
+		}
+	}
+	type stateKey string
+	memo := map[stateKey]int64{}
+	states := 0
+
+	pos := make([]int, n)
+	ready := make([]int64, n) // time until thread is runnable (lag)
+
+	var explore func(now int64, active int) (int64, error)
+	key := func(active int, now int64) stateKey {
+		// Lags are relative; normalize so the memo hits across time shifts.
+		b := make([]byte, 0, n*6+2)
+		for i := 0; i < n; i++ {
+			b = append(b, byte(pos[i]), byte(pos[i]>>8))
+			lag := ready[i] - now
+			if lag < 0 {
+				lag = 0
+			}
+			b = append(b, byte(lag), byte(lag>>8), byte(lag>>16))
+		}
+		b = append(b, byte(active))
+		return stateKey(b)
+	}
+	explore = func(now int64, active int) (int64, error) {
+		// Finished?
+		done := true
+		for i := 0; i < n; i++ {
+			if pos[i] < len(threads[i].Segments) {
+				done = false
+			}
+		}
+		if done {
+			return now, nil
+		}
+		k := key(active, now)
+		if v, ok := memo[k]; ok {
+			return now + v, nil
+		}
+		states++
+		if states > maxYieldStates {
+			return 0, fmt.Errorf("interfere: yield analysis exceeded %d states", maxYieldStates)
+		}
+		// On a yield, the hardware may hand control to ANY ready thread —
+		// the joint analysis must consider every interleaving (§3.1), so
+		// the recursion maximizes over all choices. This branching is
+		// exactly what makes the state space a product of the threads.
+		best := int64(-1)
+		ran := false
+		for off := 0; off < n; off++ {
+			t := (active + off) % n
+			if pos[t] >= len(threads[t].Segments) || ready[t] > now {
+				continue
+			}
+			seg := threads[t].Segments[pos[t]]
+			pos[t]++
+			oldReady := ready[t]
+			end := now + seg.Compute
+			ready[t] = end + seg.Stall
+			v, err := explore(end, (t+1)%n)
+			pos[t]--
+			ready[t] = oldReady
+			if err != nil {
+				return 0, err
+			}
+			if v > best {
+				best = v
+			}
+			ran = true
+		}
+		if !ran {
+			// All blocked: advance to earliest wake-up.
+			next := int64(-1)
+			for i := 0; i < n; i++ {
+				if pos[i] < len(threads[i].Segments) {
+					if next < 0 || ready[i] < next {
+						next = ready[i]
+					}
+				}
+			}
+			v, err := explore(next, active)
+			if err != nil {
+				return 0, err
+			}
+			best = v
+		}
+		memo[k] = best - now
+		return best, nil
+	}
+	w, err := explore(0, 0)
+	if err != nil {
+		return nil, err
+	}
+	return &YieldResult{WCET: w, States: states, SumSerial: sumSerial}, nil
+}

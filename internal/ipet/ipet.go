@@ -1,0 +1,244 @@
+// Package ipet computes WCET bounds with the Implicit Path Enumeration
+// Technique of Li & Malik, the method the survey's §2.1 names as the
+// standard WCET computation step: block and edge execution counts become
+// integer variables, structural flow conservation and loop bounds become
+// linear constraints, and the WCET is the maximum of the weighted sum of
+// block costs, solved exactly by the internal/ilp solver.
+//
+// Beyond plain IPET, the package supports PERSISTENT-reference miss
+// variables (one miss per loop-scope entry, priced at the miss penalty)
+// and per-execution event charges (used for bus/arbiter delay bounds), so
+// the same machinery serves the survey's multicore analyses.
+package ipet
+
+import (
+	"fmt"
+	"math/big"
+
+	"paratime/internal/cfg"
+	"paratime/internal/flow"
+	"paratime/internal/ilp"
+)
+
+// Event is an extra charge attached to a block.
+//
+// With Scope == nil the charge applies to every execution of the block
+// (cost Penalty × x_block); this expresses per-access bus delay bounds.
+// With Scope set the charge is a PERSISTENT miss: it applies at most once
+// per entry of the scope loop and at most once per block execution,
+// expressing first-miss semantics.
+type Event struct {
+	Name    string
+	Block   cfg.BlockID
+	Penalty int64
+	Scope   *cfg.Loop
+}
+
+// Problem is one WCET computation.
+type Problem struct {
+	G *cfg.Graph
+	// Cost is the base worst-case cost of each block per execution.
+	Cost map[cfg.BlockID]int
+	// Events are extra charges (persistence misses, arbitration delays).
+	Events []Event
+	// Extra are additional linear path constraints (infeasible paths etc.).
+	Extra []flow.Constraint
+}
+
+// Result is the outcome of a WCET computation.
+type Result struct {
+	WCET        int64
+	BlockCounts map[cfg.BlockID]int64
+	EdgeCounts  map[int]int64
+	EventCounts []int64 // aligned with Problem.Events
+
+	// ILP statistics.
+	Vars, Cons, Nodes int
+}
+
+// Solve formulates and solves the IPET ILP. Every loop in the graph must
+// carry a bound.
+func Solve(p *Problem) (*Result, error) {
+	g := p.G
+	if err := flow.CheckBounded(g); err != nil {
+		return nil, err
+	}
+	m := ilp.NewModel()
+
+	blockVar := make(map[cfg.BlockID]ilp.Var, len(g.Blocks))
+	for _, b := range g.Blocks {
+		blockVar[b.ID] = m.AddIntVar(fmt.Sprintf("x_b%d", b.ID))
+	}
+	edgeVar := make(map[int]ilp.Var, len(g.Edges))
+	for _, e := range g.Edges {
+		edgeVar[e.ID] = m.AddIntVar(fmt.Sprintf("e_%d", e.ID))
+	}
+
+	// Structural constraints: the virtual source enters the entry block
+	// once and the virtual sink leaves the exit block once.
+	for _, b := range g.Blocks {
+		inSum := ilp.NewLin().AddInt(blockVar[b.ID], 1)
+		for _, e := range b.Preds {
+			inSum.AddInt(edgeVar[e.ID], -1)
+		}
+		inRHS := int64(0)
+		if b == g.Entry {
+			inRHS = 1
+		}
+		m.AddConstraintInt(fmt.Sprintf("in_b%d", b.ID), inSum, ilp.EQ, inRHS)
+
+		outSum := ilp.NewLin().AddInt(blockVar[b.ID], 1)
+		for _, e := range b.Succs {
+			outSum.AddInt(edgeVar[e.ID], -1)
+		}
+		outRHS := int64(0)
+		if b == g.Exit {
+			outRHS = 1
+		}
+		m.AddConstraintInt(fmt.Sprintf("out_b%d", b.ID), outSum, ilp.EQ, outRHS)
+	}
+
+	// Loop bounds: back-edge executions per entry.
+	for li, l := range g.Loops {
+		lhs := ilp.NewLin()
+		for _, e := range l.BackEdges {
+			lhs.AddInt(edgeVar[e.ID], 1)
+		}
+		for _, e := range l.EntryEdges {
+			lhs.AddInt(edgeVar[e.ID], -int64(l.Bound-1))
+		}
+		m.AddConstraintInt(fmt.Sprintf("loop%d_bound", li), lhs, ilp.LE, 0)
+	}
+
+	obj := ilp.NewLin()
+	for _, b := range g.Blocks {
+		if c := p.Cost[b.ID]; c != 0 {
+			obj.AddInt(blockVar[b.ID], int64(c))
+		}
+	}
+
+	// Events.
+	eventVars := make([]ilp.Var, len(p.Events))
+	for i, ev := range p.Events {
+		if ev.Scope == nil {
+			// Per-execution charge: fold into the objective directly.
+			obj.AddInt(blockVar[ev.Block], ev.Penalty)
+			eventVars[i] = -1
+			continue
+		}
+		mv := m.AddIntVar(fmt.Sprintf("m_%s", ev.Name))
+		eventVars[i] = mv
+		// At most once per scope entry.
+		lhs := ilp.NewLin().AddInt(mv, 1)
+		for _, e := range ev.Scope.EntryEdges {
+			lhs.AddInt(edgeVar[e.ID], -1)
+		}
+		m.AddConstraintInt(fmt.Sprintf("ps_%s_entries", ev.Name), lhs, ilp.LE, 0)
+		// At most once per block execution.
+		lhs2 := ilp.NewLin().AddInt(mv, 1).AddInt(blockVar[ev.Block], -1)
+		m.AddConstraintInt(fmt.Sprintf("ps_%s_exec", ev.Name), lhs2, ilp.LE, 0)
+		obj.AddInt(mv, ev.Penalty)
+	}
+
+	// Extra flow constraints.
+	for i, c := range p.Extra {
+		lhs := ilp.NewLin()
+		for _, t := range c.Terms {
+			switch {
+			case t.Block != nil:
+				lhs.AddInt(blockVar[t.Block.ID], t.Coef)
+			case t.Edge != nil:
+				lhs.AddInt(edgeVar[t.Edge.ID], t.Coef)
+			default:
+				return nil, fmt.Errorf("constraint %q term %d has neither block nor edge", c.Name, i)
+			}
+		}
+		var sense ilp.Sense
+		switch c.Rel {
+		case flow.RelLE:
+			sense = ilp.LE
+		case flow.RelGE:
+			sense = ilp.GE
+		default:
+			sense = ilp.EQ
+		}
+		m.AddConstraintInt(fmt.Sprintf("extra_%s", c.Name), lhs, sense, c.RHS)
+	}
+
+	m.SetObjective(obj)
+	sol, err := m.Solve()
+	if err != nil {
+		return nil, err
+	}
+	switch sol.Status {
+	case ilp.Infeasible:
+		return nil, fmt.Errorf("ipet: model infeasible (contradictory flow facts?)")
+	case ilp.Unbounded:
+		return nil, fmt.Errorf("ipet: model unbounded (missing loop bound?)")
+	}
+	res := &Result{
+		BlockCounts: map[cfg.BlockID]int64{},
+		EdgeCounts:  map[int]int64{},
+		EventCounts: make([]int64, len(p.Events)),
+		Vars:        m.NumVars(),
+		Cons:        m.NumCons(),
+		Nodes:       sol.Nodes,
+	}
+	if !sol.Value.IsInt() {
+		return nil, fmt.Errorf("ipet: non-integral optimum %s", sol.Value.RatString())
+	}
+	res.WCET = ratInt(sol.Value)
+	for _, b := range g.Blocks {
+		res.BlockCounts[b.ID] = ratInt(sol.X[blockVar[b.ID]])
+	}
+	for _, e := range g.Edges {
+		res.EdgeCounts[e.ID] = ratInt(sol.X[edgeVar[e.ID]])
+	}
+	for i, mv := range eventVars {
+		if mv >= 0 {
+			res.EventCounts[i] = ratInt(sol.X[mv])
+		} else {
+			res.EventCounts[i] = res.BlockCounts[p.Events[i].Block]
+		}
+	}
+	return res, nil
+}
+
+func ratInt(r *big.Rat) int64 {
+	if !r.IsInt() {
+		// The caller checked the objective; variable values at an integer
+		// optimum of a bounded ILP are integral by construction.
+		panic(fmt.Sprintf("ipet: non-integral solution value %s", r.RatString()))
+	}
+	return r.Num().Int64()
+}
+
+// SolveDAGLongest computes the longest entry→exit path of a loop-free
+// graph by dynamic programming over the reverse post-order. It is the
+// independent cross-check used by tests: on loop-free programs without
+// extra constraints IPET must agree exactly.
+func SolveDAGLongest(g *cfg.Graph, cost map[cfg.BlockID]int) (int64, error) {
+	if len(g.Loops) != 0 {
+		return 0, fmt.Errorf("SolveDAGLongest: graph has loops")
+	}
+	best := map[cfg.BlockID]int64{}
+	blocks := g.RPO()
+	for _, b := range blocks {
+		base := int64(cost[b.ID])
+		if b == g.Entry {
+			best[b.ID] = base
+			continue
+		}
+		max := int64(-1)
+		for _, e := range b.Preds {
+			if v, ok := best[e.From.ID]; ok && v > max {
+				max = v
+			}
+		}
+		if max < 0 {
+			return 0, fmt.Errorf("SolveDAGLongest: block %v unreachable", b)
+		}
+		best[b.ID] = max + base
+	}
+	return best[g.Exit.ID], nil
+}

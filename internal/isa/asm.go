@@ -1,0 +1,359 @@
+package isa
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble parses assembler text into a Program. The syntax is
+// line-oriented:
+//
+//	; comment            # comment
+//	.text                switch to the text segment (default)
+//	.data [addr]         switch to the data segment, optionally at addr
+//	.word v1 v2 ...      emit data words at the data cursor
+//	.space n             reserve n words of zeroed data
+//	label:               attach a label to the current position
+//	op operands          one instruction, e.g.  addi r1, r1, -1
+//
+// Operands are registers (r0..r15, sp, ra), immediates (decimal or 0x hex),
+// displacement forms off(rN) for ld/st, and labels for control transfers.
+// `li rd, label` loads the address of a data label. Example:
+//
+//	        li   r1, 8
+//	loop:   addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        halt
+func Assemble(name, src string) (*Program, error) {
+	a := &asm{b: NewBuilder(name), inData: false}
+	for lineno, raw := range strings.Split(src, "\n") {
+		if err := a.line(raw); err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", name, lineno+1, err)
+		}
+	}
+	return a.b.Done()
+}
+
+// MustAssemble is Assemble, panicking on error. For static fixtures.
+func MustAssemble(name, src string) *Program {
+	p, err := Assemble(name, src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type asm struct {
+	b      *Builder
+	inData bool
+}
+
+func (a *asm) line(raw string) error {
+	line := raw
+	if i := strings.IndexAny(line, ";#"); i >= 0 {
+		line = line[:i]
+	}
+	line = strings.TrimSpace(line)
+	if line == "" {
+		return nil
+	}
+	// A line may carry "label: instruction".
+	for {
+		i := strings.Index(line, ":")
+		if i < 0 {
+			break
+		}
+		label := strings.TrimSpace(line[:i])
+		if !isIdent(label) {
+			break // e.g. "ld r1, 0(r2)" has no label colon
+		}
+		if a.inData {
+			a.b.prog.DataLabels[label] = a.b.dataPos
+		} else {
+			if _, dup := a.b.prog.Labels[label]; dup {
+				return fmt.Errorf("duplicate label %q", label)
+			}
+			a.b.prog.Labels[label] = len(a.b.prog.Insts)
+		}
+		line = strings.TrimSpace(line[i+1:])
+		if line == "" {
+			return nil
+		}
+	}
+	if strings.HasPrefix(line, ".") {
+		return a.directive(line)
+	}
+	return a.inst(line)
+}
+
+func (a *asm) directive(line string) error {
+	f := strings.Fields(line)
+	switch f[0] {
+	case ".text":
+		a.inData = false
+		return nil
+	case ".data":
+		a.inData = true
+		if len(f) > 1 {
+			v, err := parseImm(f[1])
+			if err != nil {
+				return fmt.Errorf(".data address: %w", err)
+			}
+			a.b.dataPos = uint32(v)
+		}
+		return nil
+	case ".word":
+		if !a.inData {
+			return fmt.Errorf(".word outside .data")
+		}
+		for _, tok := range f[1:] {
+			v, err := parseImm(strings.TrimSuffix(tok, ","))
+			if err != nil {
+				return err
+			}
+			a.b.prog.Data[a.b.dataPos] = v
+			a.b.dataPos += 4
+		}
+		return nil
+	case ".space":
+		if !a.inData {
+			return fmt.Errorf(".space outside .data")
+		}
+		if len(f) != 2 {
+			return fmt.Errorf(".space wants one operand")
+		}
+		n, err := parseImm(f[1])
+		if err != nil || n < 0 {
+			return fmt.Errorf(".space wants a non-negative word count")
+		}
+		a.b.dataPos += uint32(n) * 4
+		return nil
+	default:
+		return fmt.Errorf("unknown directive %s", f[0])
+	}
+}
+
+func (a *asm) inst(line string) error {
+	if a.inData {
+		return fmt.Errorf("instruction in .data segment")
+	}
+	mn, rest, _ := strings.Cut(line, " ")
+	mn = strings.ToLower(strings.TrimSpace(mn))
+	ops := splitOperands(rest)
+	op, ok := mnemonics[mn]
+	if !ok {
+		return fmt.Errorf("unknown mnemonic %q", mn)
+	}
+	need := func(n int) error {
+		if len(ops) != n {
+			return fmt.Errorf("%s wants %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	switch op {
+	case NOP, HALT, RET:
+		if err := need(0); err != nil {
+			return err
+		}
+		a.b.Emit(Inst{Op: op})
+	case LI:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		if imm, err := parseImm(ops[1]); err == nil {
+			a.b.Li(rd, imm)
+		} else if isIdent(ops[1]) {
+			a.b.La(rd, ops[1]) // address of data label
+		} else {
+			return fmt.Errorf("li operand %q: neither immediate nor label", ops[1])
+		}
+	case MOV:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		rs, err := parseReg(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Mov(rd, rs)
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		rs2, err3 := parseReg(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		a.b.Op3(op, rd, rs1, rs2)
+	case ADDI, ANDI, ORI, SLLI, SRLI, SLTI:
+		if err := need(3); err != nil {
+			return err
+		}
+		rd, err1 := parseReg(ops[0])
+		rs1, err2 := parseReg(ops[1])
+		imm, err3 := parseImm(ops[2])
+		if err := firstErr(err1, err2, err3); err != nil {
+			return err
+		}
+		a.b.OpI(op, rd, rs1, imm)
+	case LD:
+		if err := need(2); err != nil {
+			return err
+		}
+		rd, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.Ld(rd, base, off)
+	case ST:
+		if err := need(2); err != nil {
+			return err
+		}
+		rs2, err := parseReg(ops[0])
+		if err != nil {
+			return err
+		}
+		off, base, err := parseMem(ops[1])
+		if err != nil {
+			return err
+		}
+		a.b.St(rs2, base, off)
+	case BEQ, BNE, BLT, BGE:
+		if err := need(3); err != nil {
+			return err
+		}
+		rs1, err1 := parseReg(ops[0])
+		rs2, err2 := parseReg(ops[1])
+		if err := firstErr(err1, err2); err != nil {
+			return err
+		}
+		if !isIdent(ops[2]) {
+			return fmt.Errorf("branch target %q is not a label", ops[2])
+		}
+		a.b.Br(op, rs1, rs2, ops[2])
+	case J, CALL:
+		if err := need(1); err != nil {
+			return err
+		}
+		if !isIdent(ops[0]) {
+			return fmt.Errorf("jump target %q is not a label", ops[0])
+		}
+		if op == J {
+			a.b.Jmp(ops[0])
+		} else {
+			a.b.Call(ops[0])
+		}
+	default:
+		return fmt.Errorf("unhandled opcode %v", op)
+	}
+	return nil
+}
+
+var mnemonics = map[string]Op{
+	"nop": NOP, "halt": HALT, "li": LI, "mov": MOV,
+	"add": ADD, "sub": SUB, "mul": MUL, "div": DIV, "rem": REM,
+	"and": AND, "or": OR, "xor": XOR, "sll": SLL, "srl": SRL, "sra": SRA, "slt": SLT,
+	"addi": ADDI, "andi": ANDI, "ori": ORI, "slli": SLLI, "srli": SRLI, "slti": SLTI,
+	"ld": LD, "st": ST,
+	"beq": BEQ, "bne": BNE, "blt": BLT, "bge": BGE,
+	"j": J, "call": CALL, "ret": RET,
+}
+
+func splitOperands(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func parseReg(s string) (Reg, error) {
+	switch strings.ToLower(s) {
+	case "sp":
+		return SP, nil
+	case "ra":
+		return RA, nil
+	}
+	if len(s) >= 2 && (s[0] == 'r' || s[0] == 'R') {
+		n, err := strconv.Atoi(s[1:])
+		if err == nil && n >= 0 && n < NumRegs {
+			return Reg(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", s)
+}
+
+func parseImm(s string) (int32, error) {
+	v, err := strconv.ParseInt(s, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if v < -(1<<31) || v > (1<<32)-1 {
+		return 0, fmt.Errorf("immediate %q out of 32-bit range", s)
+	}
+	return int32(uint32(v)), nil
+}
+
+// parseMem parses "off(rN)" displacement syntax.
+func parseMem(s string) (off int32, base Reg, err error) {
+	open := strings.Index(s, "(")
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, fmt.Errorf("bad memory operand %q, want off(reg)", s)
+	}
+	offStr := strings.TrimSpace(s[:open])
+	if offStr == "" {
+		offStr = "0"
+	}
+	off, err = parseImm(offStr)
+	if err != nil {
+		return 0, 0, err
+	}
+	base, err = parseReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	return off, base, err
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == '.':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package isa defines a small deterministic 32-bit RISC instruction set
+// used as the analysis and simulation target of the paratime toolkit.
+//
+// The ISA is deliberately simple — fixed 4-byte instructions, sixteen
+// general registers with a hardwired zero register, word-aligned memory
+// accesses — so that the worst-case execution time (WCET) machinery
+// (control-flow reconstruction, cache abstract interpretation, pipeline
+// timing, IPET) operates on exactly the same kind of object stream a
+// production WCET tool sees, without carrying a commercial ISA decoder.
+package isa
+
+import "fmt"
+
+// Reg identifies one of the sixteen architectural registers R0..R15.
+// R0 is hardwired to zero: reads return 0 and writes are discarded.
+// By convention R14 is the stack pointer and R15 the link register
+// written by CALL and consumed by RET.
+type Reg uint8
+
+// Architectural register conventions.
+const (
+	R0 Reg = iota // hardwired zero
+	R1
+	R2
+	R3
+	R4
+	R5
+	R6
+	R7
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	SP // R14: stack pointer by convention
+	RA // R15: link register written by CALL
+
+	// NumRegs is the number of architectural registers.
+	NumRegs = 16
+)
+
+// String returns the assembler name of the register.
+func (r Reg) String() string {
+	switch r {
+	case SP:
+		return "sp"
+	case RA:
+		return "ra"
+	default:
+		return fmt.Sprintf("r%d", uint8(r))
+	}
+}
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcodes. Three-register ALU forms read Rs1 and Rs2 and write Rd.
+// Immediate forms read Rs1 and the 32-bit immediate. Control transfers
+// carry an absolute byte address in Target (resolved from a label by the
+// assembler).
+const (
+	NOP  Op = iota // no operation
+	HALT           // stop the hart; terminates simulation
+
+	LI  // Rd = Imm
+	MOV // Rd = Rs1
+
+	ADD // Rd = Rs1 + Rs2
+	SUB // Rd = Rs1 - Rs2
+	MUL // Rd = Rs1 * Rs2
+	DIV // Rd = Rs1 / Rs2 (0 when Rs2 == 0)
+	REM // Rd = Rs1 % Rs2 (0 when Rs2 == 0)
+	AND // Rd = Rs1 & Rs2
+	OR  // Rd = Rs1 | Rs2
+	XOR // Rd = Rs1 ^ Rs2
+	SLL // Rd = Rs1 << (Rs2 & 31)
+	SRL // Rd = int32(uint32(Rs1) >> (Rs2 & 31))
+	SRA // Rd = Rs1 >> (Rs2 & 31)
+	SLT // Rd = 1 if Rs1 < Rs2 else 0
+
+	ADDI // Rd = Rs1 + Imm
+	ANDI // Rd = Rs1 & Imm
+	ORI  // Rd = Rs1 | Imm
+	SLLI // Rd = Rs1 << (Imm & 31)
+	SRLI // Rd = int32(uint32(Rs1) >> (Imm & 31))
+	SLTI // Rd = 1 if Rs1 < Imm else 0
+
+	LD // Rd = Mem[Rs1 + Imm] (word, 4-byte aligned)
+	ST // Mem[Rs1 + Imm] = Rs2 (word, 4-byte aligned)
+
+	BEQ // if Rs1 == Rs2 goto Target
+	BNE // if Rs1 != Rs2 goto Target
+	BLT // if Rs1 <  Rs2 goto Target
+	BGE // if Rs1 >= Rs2 goto Target
+
+	J    // goto Target
+	CALL // RA = next instruction address; goto Target
+	RET  // goto RA
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", HALT: "halt",
+	LI: "li", MOV: "mov",
+	ADD: "add", SUB: "sub", MUL: "mul", DIV: "div", REM: "rem",
+	AND: "and", OR: "or", XOR: "xor", SLL: "sll", SRL: "srl", SRA: "sra", SLT: "slt",
+	ADDI: "addi", ANDI: "andi", ORI: "ori", SLLI: "slli", SRLI: "srli", SLTI: "slti",
+	LD: "ld", ST: "st",
+	BEQ: "beq", BNE: "bne", BLT: "blt", BGE: "bge",
+	J: "j", CALL: "call", RET: "ret",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Class groups opcodes by their pipeline resource usage. The pipeline
+// timing model assigns execution latencies per class, not per opcode.
+type Class uint8
+
+// Instruction classes.
+const (
+	ClassNop Class = iota
+	ClassALU
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // J, CALL, RET
+	ClassHalt
+)
+
+// String returns a human-readable class name.
+func (c Class) String() string {
+	switch c {
+	case ClassNop:
+		return "nop"
+	case ClassALU:
+		return "alu"
+	case ClassMul:
+		return "mul"
+	case ClassDiv:
+		return "div"
+	case ClassLoad:
+		return "load"
+	case ClassStore:
+		return "store"
+	case ClassBranch:
+		return "branch"
+	case ClassJump:
+		return "jump"
+	case ClassHalt:
+		return "halt"
+	default:
+		return "?"
+	}
+}
+
+// ClassOf returns the pipeline class of an opcode.
+func ClassOf(op Op) Class {
+	switch op {
+	case NOP:
+		return ClassNop
+	case HALT:
+		return ClassHalt
+	case MUL:
+		return ClassMul
+	case DIV, REM:
+		return ClassDiv
+	case LD:
+		return ClassLoad
+	case ST:
+		return ClassStore
+	case BEQ, BNE, BLT, BGE:
+		return ClassBranch
+	case J, CALL, RET:
+		return ClassJump
+	default:
+		return ClassALU
+	}
+}
+
+// InstBytes is the size of every instruction in bytes. The ISA is
+// fixed-width; instruction i of a program with base address B occupies
+// [B+4i, B+4i+4).
+const InstBytes = 4
+
+// Inst is one decoded instruction. Fields not used by an opcode are zero.
+type Inst struct {
+	Op     Op
+	Rd     Reg    // destination register
+	Rs1    Reg    // first source / base register
+	Rs2    Reg    // second source / store-value register
+	Imm    int32  // immediate operand / memory displacement
+	Target uint32 // absolute byte address for branches, J and CALL
+}
+
+// IsBranch reports whether the instruction is a conditional branch.
+func (in Inst) IsBranch() bool {
+	return in.Op >= BEQ && in.Op <= BGE
+}
+
+// IsControl reports whether the instruction can change the PC to anything
+// other than the next sequential instruction.
+func (in Inst) IsControl() bool {
+	return in.IsBranch() || in.Op == J || in.Op == CALL || in.Op == RET || in.Op == HALT
+}
+
+// IsMem reports whether the instruction accesses data memory.
+func (in Inst) IsMem() bool { return in.Op == LD || in.Op == ST }
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	switch in.Op {
+	case NOP, HALT, RET:
+		return in.Op.String()
+	case LI:
+		return fmt.Sprintf("%s %s, %d", in.Op, in.Rd, in.Imm)
+	case MOV:
+		return fmt.Sprintf("%s %s, %s", in.Op, in.Rd, in.Rs1)
+	case ADD, SUB, MUL, DIV, REM, AND, OR, XOR, SLL, SRL, SRA, SLT:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+	case ADDI, ANDI, ORI, SLLI, SRLI, SLTI:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	case LD:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ST:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case BEQ, BNE, BLT, BGE:
+		return fmt.Sprintf("%s %s, %s, 0x%x", in.Op, in.Rs1, in.Rs2, in.Target)
+	case J, CALL:
+		return fmt.Sprintf("%s 0x%x", in.Op, in.Target)
+	default:
+		return fmt.Sprintf("%s ?", in.Op)
+	}
+}

@@ -1,0 +1,356 @@
+// Package pipeline models a blocking in-order scalar pipeline
+// (IF→ID→EX→MEM→WB) in max-plus form and computes context-parameterized
+// worst-case basic-block costs for WCET analysis, following the
+// context-parameterized execution-time model of Rochange & Sainrat cited
+// by the survey (§2.1, [32]).
+//
+// The same instruction-level recurrence is evaluated by the static
+// analysis (with classified worst-case latencies) and by the
+// cycle-accurate simulator in internal/sim (with concrete latencies), so
+// the static per-block cost is an upper bound of every simulated instance
+// by monotonicity of the max-plus operators.
+package pipeline
+
+import (
+	"fmt"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// Stage indexes the pipeline stages.
+type Stage int
+
+// Pipeline stages.
+const (
+	IF Stage = iota
+	ID
+	EX
+	MEM
+	WB
+	NumStages
+)
+
+// ctxClamp bounds how far in the past a context availability can lie;
+// clamping *raises* values, which is conservative under max-plus.
+const ctxClamp = -64
+
+// Config is the pipeline timing parameterization.
+type Config struct {
+	// ExLat is the EX-stage occupancy per instruction class (cycles >= 1).
+	ExLat map[isa.Class]int
+	// BranchPenalty is the refetch delay after any taken control transfer,
+	// counted from the end of the transfer's EX stage.
+	BranchPenalty int
+}
+
+// DefaultConfig returns a standard parameterization: single-cycle ALU,
+// 3-cycle multiply, 12-cycle divide, 2-cycle redirect penalty.
+func DefaultConfig() Config {
+	return Config{
+		ExLat: map[isa.Class]int{
+			isa.ClassNop: 1, isa.ClassALU: 1, isa.ClassMul: 3, isa.ClassDiv: 12,
+			isa.ClassLoad: 1, isa.ClassStore: 1,
+			isa.ClassBranch: 1, isa.ClassJump: 1, isa.ClassHalt: 1,
+		},
+		BranchPenalty: 2,
+	}
+}
+
+// exLat returns the EX latency of an instruction (>= 1).
+func (c Config) exLat(in isa.Inst) int {
+	if l, ok := c.ExLat[isa.ClassOf(in.Op)]; ok && l >= 1 {
+		return l
+	}
+	return 1
+}
+
+// InstTiming carries the memory-latency inputs of one instruction:
+// the fetch latency and, for LD/ST, the data-access latency. Both are
+// occupancy times (>= 1); cache classification decides their values.
+//
+// FetchMiss/MemMiss mark accesses that leave the L1s. The core has a
+// single blocking miss port: two miss transactions of the same core never
+// overlap (no hit-under-miss), which is what makes per-core arbitration
+// bounds like D = N·L−1 applicable. Hits ignore the port.
+type InstTiming struct {
+	Fetch     int
+	FetchMiss bool
+	Mem       int // ignored (forced to 1) for non-memory instructions
+	MemMiss   bool
+}
+
+// TimingFn resolves the memory timing of instruction instIdx of block b.
+type TimingFn func(b *cfg.Block, instIdx int) InstTiming
+
+// Context is the pipeline state crossing a block boundary, expressed
+// relative to the retirement time of the previous block's last
+// instruction: when each stage becomes available and when each register's
+// value becomes forwardable. Larger is worse; the join is pointwise max.
+type Context struct {
+	Avail    [NumStages]int
+	RegReady [isa.NumRegs]int
+	// Port is when the core's blocking miss port frees (relative).
+	Port int
+}
+
+// EntryContext is the task-start context: everything available at t=0.
+func EntryContext() Context { return Context{} }
+
+// Join returns the pointwise maximum (worst case) of two contexts.
+func (c Context) Join(o Context) Context {
+	out := c
+	for i := range out.Avail {
+		if o.Avail[i] > out.Avail[i] {
+			out.Avail[i] = o.Avail[i]
+		}
+	}
+	for i := range out.RegReady {
+		if o.RegReady[i] > out.RegReady[i] {
+			out.RegReady[i] = o.RegReady[i]
+		}
+	}
+	if o.Port > out.Port {
+		out.Port = o.Port
+	}
+	return out
+}
+
+func clamp(x int) int {
+	if x < ctxClamp {
+		return ctxClamp
+	}
+	return x
+}
+
+// BlockTiming is the result of executing one block from a context.
+type BlockTiming struct {
+	// Dur is the block's cost: retirement time of its last instruction,
+	// relative to the predecessor's retirement (the context origin).
+	Dur int
+	// Out is the trailing context (relative to this block's retirement).
+	Out Context
+	// Resolve is the time (relative to the context origin) at which the
+	// final control transfer is resolved in EX; successors reached via a
+	// taken edge cannot fetch before Resolve + BranchPenalty.
+	Resolve int
+}
+
+// ExecBlock evaluates the pipeline recurrence over the block's
+// instructions starting from the given context. tim supplies the memory
+// latencies. Empty (exit) blocks pass the context through at zero cost.
+//
+// Recurrence (blocking single-slot stages, forwarding from EX and MEM):
+//
+//	IFs(i)  = max(IDs(i-1), redirect)          IFd(i) = IFs(i)+fetch(i)
+//	IDs(i)  = max(IFd(i),  EXs(i-1))
+//	EXs(i)  = max(IDs(i)+1, MEMs(i-1), ready(srcs))
+//	MEMs(i) = max(EXs(i)+ex(i), WBs(i-1))
+//	WBs(i)  = max(MEMs(i)+mem(i), WBd(i-1))    WBd(i) = WBs(i)+1
+func ExecBlock(pc Config, b *cfg.Block, tim TimingFn, in Context) BlockTiming {
+	if b.IsExit() || b.Len() == 0 {
+		return BlockTiming{Dur: 0, Out: in, Resolve: 0}
+	}
+	insts := b.Insts()
+	// Absolute times for the in-flight previous instruction, seeded from
+	// the context: Avail[S] is when stage S accepts a new instruction.
+	prevIDs := in.Avail[IF] // IF frees when prior instruction entered ID
+	prevEXs := in.Avail[ID]
+	prevMEMs := in.Avail[EX]
+	prevWBs := in.Avail[MEM]
+	prevWBd := in.Avail[WB]
+	port := in.Port
+	var ready [isa.NumRegs]int
+	copy(ready[:], in.RegReady[:])
+
+	var lastEXd int
+	for i, inst := range insts {
+		t := tim(b, i)
+		fetch := maxInt(1, t.Fetch)
+		mem := 1
+		if inst.IsMem() {
+			mem = maxInt(1, t.Mem)
+		}
+		ex := pc.exLat(inst)
+
+		ifs := prevIDs
+		var ifd int
+		if t.FetchMiss {
+			start := maxInt(ifs, port)
+			ifd = start + fetch
+			port = ifd
+		} else {
+			ifd = ifs + fetch
+		}
+		ids := maxInt(ifd, prevEXs)
+		exs := maxInt(ids+1, prevMEMs)
+		for _, r := range SrcRegs(inst) {
+			if ready[r] > exs {
+				exs = ready[r]
+			}
+		}
+		mems := maxInt(exs+ex, prevWBs)
+		var memDone int
+		if inst.IsMem() && t.MemMiss {
+			start := maxInt(mems, port)
+			memDone = start + mem
+			port = memDone
+		} else {
+			memDone = mems + mem
+		}
+		wbs := maxInt(memDone, prevWBd)
+		wbd := wbs + 1
+
+		if rd, ok := DstReg(inst); ok {
+			if inst.Op == isa.LD {
+				ready[rd] = memDone // load value forwarded from MEM
+			} else {
+				ready[rd] = exs + ex // ALU result forwarded from EX
+			}
+		}
+		prevIDs, prevEXs, prevMEMs, prevWBs, prevWBd = ids, exs, mems, wbs, wbd
+		lastEXd = exs + ex
+	}
+	dur := prevWBd
+	var out Context
+	out.Avail[IF] = clamp(prevIDs - dur)
+	out.Avail[ID] = clamp(prevEXs - dur)
+	out.Avail[EX] = clamp(prevMEMs - dur)
+	out.Avail[MEM] = clamp(prevWBs - dur)
+	out.Avail[WB] = clamp(prevWBd - dur) // == 0
+	out.Port = clamp(port - dur)
+	for r := range out.RegReady {
+		out.RegReady[r] = clamp(ready[r] - dur)
+	}
+	return BlockTiming{Dur: dur, Out: out, Resolve: lastEXd}
+}
+
+// EdgeContext derives the successor's entry context along an edge from
+// the block timing: taken control transfers stall the successor's fetch
+// until the transfer resolves plus the redirect penalty.
+func EdgeContext(pc Config, bt BlockTiming, e *cfg.Edge) Context {
+	ctx := bt.Out
+	switch e.Kind {
+	case cfg.EdgeTaken, cfg.EdgeJump, cfg.EdgeCall, cfg.EdgeReturn, cfg.EdgeExit:
+		if e.Kind == cfg.EdgeExit && !isRealTransfer(e.From) {
+			return ctx // HALT falls to the synthetic exit; no redirect
+		}
+		redirect := clamp(bt.Resolve + pc.BranchPenalty - bt.Dur)
+		if redirect > ctx.Avail[IF] {
+			ctx.Avail[IF] = redirect
+		}
+	}
+	return ctx
+}
+
+func isRealTransfer(b *cfg.Block) bool {
+	if b.IsExit() || b.Len() == 0 {
+		return false
+	}
+	op := b.Insts()[b.Len()-1].Op
+	return op == isa.RET || op == isa.J || op == isa.CALL
+}
+
+// CostResult carries the context fixpoint and per-block worst-case costs.
+type CostResult struct {
+	In   map[cfg.BlockID]Context
+	Cost map[cfg.BlockID]int
+}
+
+// maxFixIter guards the context fixpoint (finite lattice; generous).
+const maxFixIter = 10_000
+
+// AnalyzeCosts runs the context fixpoint with worst-case latencies and
+// then prices each block under its worst context with base latencies.
+//
+// worst must upper-bound every latency the hardware can exhibit
+// (classification misses for PS/NC refs); base may assume hits for
+// PERSISTENT references whose misses are charged separately by IPET
+// miss-count variables. Passing the same function for both yields the
+// plain (non-PS-aware) model.
+func AnalyzeCosts(g *cfg.Graph, pc Config, worst, base TimingFn) (*CostResult, error) {
+	in := map[cfg.BlockID]Context{}
+	in[g.Entry.ID] = EntryContext()
+	seen := map[cfg.BlockID]bool{g.Entry.ID: true}
+	for iter := 0; ; iter++ {
+		if iter > maxFixIter {
+			return nil, fmt.Errorf("pipeline: context fixpoint did not converge")
+		}
+		changed := false
+		for _, b := range g.RPO() {
+			if !seen[b.ID] {
+				continue
+			}
+			bt := ExecBlock(pc, b, worst, in[b.ID])
+			for _, e := range b.Succs {
+				ec := EdgeContext(pc, bt, e)
+				cur, ok := in[e.To.ID]
+				var next Context
+				if ok {
+					next = cur.Join(ec)
+				} else {
+					next = ec
+				}
+				if !ok || next != cur {
+					in[e.To.ID] = next
+					seen[e.To.ID] = true
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res := &CostResult{In: in, Cost: map[cfg.BlockID]int{}}
+	for _, b := range g.Blocks {
+		res.Cost[b.ID] = ExecBlock(pc, b, base, in[b.ID]).Dur
+	}
+	return res, nil
+}
+
+// SrcRegs returns the registers an instruction reads.
+func SrcRegs(in isa.Inst) []isa.Reg {
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.LI, isa.J, isa.CALL:
+		return nil
+	case isa.MOV:
+		return []isa.Reg{in.Rs1}
+	case isa.ADDI, isa.ANDI, isa.ORI, isa.SLLI, isa.SRLI, isa.SLTI, isa.LD:
+		return []isa.Reg{in.Rs1}
+	case isa.ST:
+		return []isa.Reg{in.Rs1, in.Rs2}
+	case isa.BEQ, isa.BNE, isa.BLT, isa.BGE:
+		return []isa.Reg{in.Rs1, in.Rs2}
+	case isa.RET:
+		return []isa.Reg{isa.RA}
+	default: // three-register ALU
+		return []isa.Reg{in.Rs1, in.Rs2}
+	}
+}
+
+// DstReg returns the register an instruction writes, if any.
+func DstReg(in isa.Inst) (isa.Reg, bool) {
+	switch in.Op {
+	case isa.NOP, isa.HALT, isa.ST, isa.BEQ, isa.BNE, isa.BLT, isa.BGE, isa.J, isa.RET:
+		return 0, false
+	case isa.CALL:
+		return isa.RA, true
+	default:
+		if in.Rd == isa.R0 {
+			return 0, false
+		}
+		return in.Rd, true
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ExLatOf exposes the per-instruction EX latency for the simulator, which
+// must price EX identically to the static model.
+func ExLatOf(c Config, in isa.Inst) int { return c.exLat(in) }

@@ -1,0 +1,193 @@
+// Package sched implements the multicore scheduling analysis the
+// survey's joint-analysis refinements depend on (§4.1, Li et al.):
+// non-preemptive static-priority partitioned scheduling, worst-case
+// response-time iteration, and task lifetime windows used to prove that
+// two tasks can never execute concurrently.
+package sched
+
+import (
+	"fmt"
+	"math"
+)
+
+// TaskSpec is one task instance of a static workload: mapped to a core,
+// with a priority (lower number = higher priority), execution-time bounds
+// and precedence dependencies (indices into the task slice).
+type TaskSpec struct {
+	Name     string
+	Core     int
+	Priority int
+	BCET     int64
+	WCET     int64
+	Deps     []int
+}
+
+// Window is a task's lifetime: the earliest it can start executing and
+// the latest it can finish, across all schedules consistent with the
+// specs. Two tasks whose windows do not intersect can never overlap.
+type Window struct {
+	EarliestStart int64
+	LatestFinish  int64
+}
+
+// Overlaps reports whether two windows intersect.
+func (w Window) Overlaps(o Window) bool {
+	return w.EarliestStart < o.LatestFinish && o.EarliestStart < w.LatestFinish
+}
+
+// maxLifetimeIter bounds the fixpoint (it converges fast in practice).
+const maxLifetimeIter = 64
+
+// Lifetimes computes a window per task by fixpoint iteration:
+//
+//	earliest start = max over deps of (their earliest start + BCET)
+//	latest start   = max(dep latest finishes) + blocking + interference
+//	latest finish  = latest start + WCET
+//
+// where interference counts the WCET of same-core tasks that may overlap
+// the task's activation window and have higher priority, and blocking is
+// the largest WCET of a lower-priority same-core task (non-preemptive).
+// The overlap relation is refined from the windows themselves, so the
+// iteration starts from the pessimistic "everything overlaps" state and
+// shrinks monotonically.
+func Lifetimes(tasks []TaskSpec) ([]Window, error) {
+	n := len(tasks)
+	for i, t := range tasks {
+		if t.WCET < t.BCET {
+			return nil, fmt.Errorf("task %s: WCET %d < BCET %d", t.Name, t.WCET, t.BCET)
+		}
+		for _, d := range t.Deps {
+			if d < 0 || d >= n || d == i {
+				return nil, fmt.Errorf("task %s: bad dependency %d", t.Name, d)
+			}
+		}
+	}
+	if cyclic(tasks) {
+		return nil, fmt.Errorf("sched: dependency cycle")
+	}
+	win := make([]Window, n)
+	for i := range win {
+		win[i] = Window{EarliestStart: 0, LatestFinish: math.MaxInt64 / 4}
+	}
+	for iter := 0; iter < maxLifetimeIter; iter++ {
+		changed := false
+		for i, t := range tasks {
+			var es int64
+			var lsDeps int64
+			for _, d := range t.Deps {
+				if f := win[d].EarliestStart + tasks[d].BCET; f > es {
+					es = f
+				}
+				if win[d].LatestFinish > lsDeps {
+					lsDeps = win[d].LatestFinish
+				}
+			}
+			// Same-core interference among possibly-overlapping tasks.
+			var interf, blocking int64
+			for j, o := range tasks {
+				if j == i || o.Core != t.Core {
+					continue
+				}
+				if !win[i].Overlaps(win[j]) {
+					continue
+				}
+				if o.Priority < t.Priority {
+					interf += o.WCET
+				} else if o.WCET > blocking {
+					blocking = o.WCET // non-preemptive blocking: one job
+				}
+			}
+			lf := lsDeps + blocking + interf + t.WCET
+			w := Window{EarliestStart: es, LatestFinish: lf}
+			if w != win[i] {
+				win[i] = w
+				changed = true
+			}
+		}
+		if !changed {
+			return win, nil
+		}
+	}
+	return win, nil
+}
+
+func cyclic(tasks []TaskSpec) bool {
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]int, len(tasks))
+	var visit func(int) bool
+	visit = func(i int) bool {
+		color[i] = grey
+		for _, d := range tasks[i].Deps {
+			switch color[d] {
+			case grey:
+				return true
+			case white:
+				if visit(d) {
+					return true
+				}
+			}
+		}
+		color[i] = black
+		return false
+	}
+	for i := range tasks {
+		if color[i] == white && visit(i) {
+			return true
+		}
+	}
+	return false
+}
+
+// MayOverlap returns the symmetric overlap matrix for tasks on different
+// cores (same-core tasks never overlap under partitioned non-preemptive
+// scheduling). It is the conflict filter of Li et al.'s shared-cache
+// analysis: only tasks that may overlap can corrupt each other's L2
+// content.
+func MayOverlap(tasks []TaskSpec, win []Window) [][]bool {
+	n := len(tasks)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if tasks[i].Core == tasks[j].Core {
+				continue // serialized on the same core
+			}
+			if dependsOn(tasks, i, j) || dependsOn(tasks, j, i) {
+				continue // precedence-ordered
+			}
+			m[i][j] = win[i].Overlaps(win[j])
+		}
+	}
+	return m
+}
+
+// dependsOn reports whether task a transitively depends on task b.
+func dependsOn(tasks []TaskSpec, a, b int) bool {
+	seen := map[int]bool{}
+	var walk func(int) bool
+	walk = func(i int) bool {
+		if i == b {
+			return true
+		}
+		if seen[i] {
+			return false
+		}
+		seen[i] = true
+		for _, d := range tasks[i].Deps {
+			if walk(d) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(a)
+}

@@ -1,0 +1,116 @@
+package sched
+
+import "testing"
+
+func TestLifetimesChain(t *testing.T) {
+	// t0 -> t1 -> t2 on one core: windows must be ordered and disjoint in
+	// the earliest-start sense.
+	tasks := []TaskSpec{
+		{Name: "t0", Core: 0, Priority: 0, BCET: 10, WCET: 20},
+		{Name: "t1", Core: 0, Priority: 1, BCET: 10, WCET: 20, Deps: []int{0}},
+		{Name: "t2", Core: 0, Priority: 2, BCET: 10, WCET: 20, Deps: []int{1}},
+	}
+	win, err := Lifetimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win[0].EarliestStart != 0 || win[1].EarliestStart != 10 || win[2].EarliestStart != 20 {
+		t.Errorf("earliest starts = %v", win)
+	}
+	for i := 0; i < 2; i++ {
+		if win[i].LatestFinish > win[i+1].LatestFinish {
+			t.Errorf("chain finishes out of order: %v", win)
+		}
+	}
+}
+
+func TestLifetimesPrecedenceSeparatesCrossCore(t *testing.T) {
+	// a on core 0, b on core 1 with b depending on a: they can never
+	// overlap regardless of windows.
+	tasks := []TaskSpec{
+		{Name: "a", Core: 0, Priority: 0, BCET: 5, WCET: 50},
+		{Name: "b", Core: 1, Priority: 0, BCET: 5, WCET: 50, Deps: []int{0}},
+		{Name: "c", Core: 1, Priority: 1, BCET: 5, WCET: 50},
+	}
+	win, err := Lifetimes(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := MayOverlap(tasks, win)
+	if m[0][1] || m[1][0] {
+		t.Error("precedence-ordered tasks marked overlapping")
+	}
+	// a and c have no ordering: they may overlap (different cores).
+	if !m[0][2] || !m[2][0] {
+		t.Error("independent cross-core tasks should overlap")
+	}
+	// Same-core tasks never overlap.
+	if m[1][2] || m[2][1] {
+		t.Error("same-core tasks cannot overlap")
+	}
+}
+
+func TestLifetimesInterferenceWidensWindows(t *testing.T) {
+	solo := []TaskSpec{{Name: "x", Core: 0, Priority: 1, BCET: 5, WCET: 10}}
+	winSolo, err := Lifetimes(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded := []TaskSpec{
+		{Name: "x", Core: 0, Priority: 1, BCET: 5, WCET: 10},
+		{Name: "hp", Core: 0, Priority: 0, BCET: 5, WCET: 30},
+	}
+	winCrowded, err := Lifetimes(crowded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winCrowded[0].LatestFinish <= winSolo[0].LatestFinish {
+		t.Errorf("higher-priority interference should widen the window: %v vs %v",
+			winCrowded[0], winSolo[0])
+	}
+}
+
+func TestLifetimesRejectsCycle(t *testing.T) {
+	tasks := []TaskSpec{
+		{Name: "a", WCET: 1, Deps: []int{1}},
+		{Name: "b", WCET: 1, Deps: []int{0}},
+	}
+	if _, err := Lifetimes(tasks); err == nil {
+		t.Fatal("cycle accepted")
+	}
+}
+
+func TestLifetimesRejectsBadBounds(t *testing.T) {
+	if _, err := Lifetimes([]TaskSpec{{Name: "a", BCET: 5, WCET: 1}}); err == nil {
+		t.Fatal("WCET < BCET accepted")
+	}
+	if _, err := Lifetimes([]TaskSpec{{Name: "a", WCET: 1, Deps: []int{7}}}); err == nil {
+		t.Fatal("dangling dependency accepted")
+	}
+}
+
+func TestWindowOverlaps(t *testing.T) {
+	a := Window{0, 10}
+	b := Window{10, 20}
+	c := Window{5, 15}
+	if a.Overlaps(b) {
+		t.Error("touching windows do not overlap")
+	}
+	if !a.Overlaps(c) || !c.Overlaps(b) {
+		t.Error("intersecting windows must overlap")
+	}
+}
+
+func TestDependsOnTransitive(t *testing.T) {
+	tasks := []TaskSpec{
+		{Name: "a", WCET: 1},
+		{Name: "b", WCET: 1, Deps: []int{0}},
+		{Name: "c", WCET: 1, Deps: []int{1}},
+	}
+	if !dependsOn(tasks, 2, 0) {
+		t.Error("transitive dependency missed")
+	}
+	if dependsOn(tasks, 0, 2) {
+		t.Error("reverse dependency invented")
+	}
+}

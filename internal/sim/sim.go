@@ -1,0 +1,350 @@
+// Package sim is the cycle-accurate execution substrate of paratime: a
+// deterministic multicore simulator with in-order pipelined cores, real
+// LRU caches, a shared bus under pluggable arbitration, and a banked
+// memory controller.
+//
+// Each core evaluates exactly the max-plus pipeline recurrence of
+// internal/pipeline with concrete (hit/miss resolved) latencies, so every
+// static block cost upper-bounds its simulated instances by construction;
+// cores interact only through the shared bus and shared L2, which the
+// simulator serializes in global event order. The simulator is the ground
+// truth against which every analytical bound in the toolkit is validated
+// (and the vehicle for the survey's point that measurement-based timing
+// analysis under-estimates on parallel architectures).
+package sim
+
+import (
+	"fmt"
+
+	"paratime/internal/arbiter"
+	"paratime/internal/cache"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/pipeline"
+)
+
+// CoreConfig describes one core and its private resources.
+type CoreConfig struct {
+	Name string
+	Prog *isa.Program
+	Pipe pipeline.Config
+	L1I  cache.Config
+	L1D  cache.Config
+	// L2 overrides the system L2 geometry for this core's private view
+	// (cache partitioning experiments); nil uses the system L2 as-is.
+	L2 *cache.Config
+}
+
+// System is a complete multicore configuration.
+type System struct {
+	Cores []CoreConfig
+	// L2 is the second-level cache; nil = misses go straight to memory.
+	L2 *cache.Config
+	// SharedL2 makes all cores hit one physical L2 (interference!);
+	// otherwise each core gets a private L2 (its partition).
+	SharedL2 bool
+	// Bus arbitrates the path from the L1s to L2/memory; nil = private
+	// path per core (no contention, zero wait).
+	Bus arbiter.Arbiter
+	// Mem is the memory device configuration.
+	Mem memctrl.Config
+}
+
+// CoreStats reports per-core observations.
+type CoreStats struct {
+	Cycles     int64 // retirement time of HALT
+	Retired    uint64
+	L1IHits    uint64
+	L1IMisses  uint64
+	L1DHits    uint64
+	L1DMisses  uint64
+	L2Hits     uint64
+	L2Misses   uint64
+	BusWaitMax int64
+	BusWaitSum int64
+	BusTrans   uint64
+}
+
+// Result is the outcome of one simulation.
+type Result struct {
+	Stats []CoreStats
+}
+
+// Cycles returns core i's completion time.
+func (r *Result) Cycles(i int) int64 { return r.Stats[i].Cycles }
+
+// MaxCycles returns the makespan.
+func (r *Result) MaxCycles() int64 {
+	var m int64
+	for _, s := range r.Stats {
+		if s.Cycles > m {
+			m = s.Cycles
+		}
+	}
+	return m
+}
+
+// phase of a core's in-flight instruction.
+type phase uint8
+
+const (
+	phFetch phase = iota // waiting to resolve the instruction fetch
+	phMem                // waiting to resolve the data access
+)
+
+// busNeed is a core's pending bus transaction.
+type busNeed struct {
+	addr uint32
+	at   int64
+	ph   phase
+}
+
+type coreRunner struct {
+	id   int
+	cfg  CoreConfig
+	arch *isa.State
+	l1i  *cache.LRU
+	l1d  *cache.LRU
+	l2   *cache.LRU // shared or private; nil without L2
+
+	// Absolute pipeline recurrence state.
+	prevIDs, prevEXs, prevMEMs, prevWBs, prevWBd int64
+	ready                                        [isa.NumRegs]int64
+	redirect                                     int64
+	portFree                                     int64 // blocking miss port
+
+	// In-flight instruction context.
+	inst     isa.Inst
+	ifs, ifd int64
+	mems     int64
+	memLat   int64
+	exd      int64 // EX completion (branch resolution)
+	exsAbs   int64 // EX start
+
+	stats CoreStats
+	done  bool
+}
+
+// Runner execution: run() advances until a bus transaction is needed or
+// the program halts; resume(doneAt) completes the pending access.
+//
+// The per-instruction recurrence mirrors pipeline.ExecBlock exactly:
+//
+//	IFs = max(prevIDs, redirect); IFd = IFs + fetchLat
+//	IDs = max(IFd, prevEXs); EXs = max(IDs+1, prevMEMs, ready[srcs])
+//	MEMs = max(EXs+ex, prevWBs); WBs = max(MEMs+mem, prevWBd); WBd = WBs+1
+func (c *coreRunner) run(sys *System) (*busNeed, error) {
+	for !c.arch.Halted {
+		switch {
+		case c.inFlight():
+			// resume() left a fully fetched instruction to finish.
+		default:
+			idx := c.arch.Prog.Index(c.arch.PC)
+			if idx < 0 {
+				return nil, fmt.Errorf("core %d: PC 0x%x outside text", c.id, c.arch.PC)
+			}
+			c.inst = c.arch.Prog.Insts[idx]
+			c.ifs = maxI64(c.prevIDs, c.redirect)
+			if c.l1i.Access(c.arch.PC) {
+				c.stats.L1IHits++
+				c.ifd = c.ifs + int64(c.cfg.L1I.HitLatency)
+			} else {
+				c.stats.L1IMisses++
+				// The blocking miss port serializes this core's
+				// transactions: request when both the fetch is due and the
+				// port is free.
+				return &busNeed{addr: c.arch.PC, at: maxI64(c.ifs, c.portFree), ph: phFetch}, nil
+			}
+		}
+		need, err := c.finish(sys)
+		if err != nil {
+			return nil, err
+		}
+		if need != nil {
+			return need, nil
+		}
+	}
+	c.done = true
+	return nil, nil
+}
+
+// inFlight reports whether an instruction fetch has completed but the
+// instruction has not retired (set by resume).
+func (c *coreRunner) inFlight() bool { return c.ifd != 0 }
+
+// finish completes the current instruction after its fetch resolved,
+// possibly pausing at the data access.
+func (c *coreRunner) finish(sys *System) (*busNeed, error) {
+	in := c.inst
+	if c.memLat == 0 { // data access not resolved yet
+		ids := maxI64(c.ifd, c.prevEXs)
+		exs := maxI64(ids+1, c.prevMEMs)
+		for _, r := range pipeline.SrcRegs(in) {
+			if c.ready[r] > exs {
+				exs = c.ready[r]
+			}
+		}
+		ex := int64(pipeline.ExLatOf(c.cfg.Pipe, in))
+		c.mems = maxI64(exs+ex, c.prevWBs)
+		// Stash EX completion for redirect computation in retire().
+		c.exd = exs + ex
+		c.exsAbs = exs
+		if in.IsMem() {
+			addr := uint32(c.arch.Reg[in.Rs1] + in.Imm)
+			if c.l1d.Access(addr) {
+				c.stats.L1DHits++
+				c.memLat = int64(c.cfg.L1D.HitLatency)
+			} else {
+				c.stats.L1DMisses++
+				return &busNeed{addr: addr, at: maxI64(c.mems, c.portFree), ph: phMem}, nil
+			}
+		} else {
+			c.memLat = 1
+		}
+	}
+	// Retire.
+	wbs := maxI64(c.mems+c.memLat, c.prevWBd)
+	wbd := wbs + 1
+	if rd, ok := pipeline.DstReg(in); ok {
+		if in.Op == isa.LD {
+			c.ready[rd] = c.mems + c.memLat
+		} else {
+			c.ready[rd] = c.exd
+		}
+	}
+	c.prevIDs = maxI64(c.ifd, c.prevEXs) // instruction left IF when entering ID
+	c.prevEXs = c.exsAbs
+	c.prevMEMs = c.mems
+	c.prevWBs = wbs
+	c.prevWBd = wbd
+
+	prevPC := c.arch.PC
+	if err := c.arch.Step(); err != nil {
+		return nil, err
+	}
+	c.stats.Retired++
+	if c.arch.PC != prevPC+isa.InstBytes && !c.arch.Halted {
+		// Taken control transfer: redirect fetch.
+		c.redirect = c.exd + int64(c.cfg.Pipe.BranchPenalty)
+	}
+	c.stats.Cycles = wbd
+	// Clear in-flight markers.
+	c.ifd, c.memLat, c.mems, c.exd, c.exsAbs = 0, 0, 0, 0, 0
+	return nil, nil
+}
+
+// resume completes a bus transaction that finished at doneAt.
+func (c *coreRunner) resume(need *busNeed, doneAt int64) {
+	c.portFree = doneAt
+	switch need.ph {
+	case phFetch:
+		c.ifd = doneAt
+	case phMem:
+		c.memLat = doneAt - c.mems
+		if c.memLat < 1 {
+			c.memLat = 1
+		}
+	}
+}
+
+// Run simulates the system to completion of every core.
+func Run(sys System, maxCycles int64) (*Result, error) {
+	if len(sys.Cores) == 0 {
+		return nil, fmt.Errorf("sim: no cores")
+	}
+	ctrl := memctrl.New(sys.Mem)
+	if sys.Bus != nil {
+		sys.Bus.Reset()
+	}
+	var sharedL2 *cache.LRU
+	if sys.L2 != nil && sys.SharedL2 {
+		sharedL2 = cache.NewLRU(*sys.L2)
+	}
+	runners := make([]*coreRunner, len(sys.Cores))
+	pending := make([]*busNeed, len(sys.Cores))
+	for i, cc := range sys.Cores {
+		r := &coreRunner{id: i, cfg: cc, arch: isa.NewState(cc.Prog)}
+		r.l1i = cache.NewLRU(cc.L1I)
+		r.l1d = cache.NewLRU(cc.L1D)
+		switch {
+		case sys.L2 == nil:
+		case sys.SharedL2:
+			r.l2 = sharedL2
+		case cc.L2 != nil:
+			r.l2 = cache.NewLRU(*cc.L2)
+		default:
+			r.l2 = cache.NewLRU(*sys.L2)
+		}
+		runners[i] = r
+		need, err := r.run(&sys)
+		if err != nil {
+			return nil, err
+		}
+		pending[i] = need
+	}
+	for {
+		// Pick the earliest pending transaction (ties by core id).
+		sel := -1
+		for i, need := range pending {
+			if need == nil {
+				continue
+			}
+			if sel < 0 || need.at < pending[sel].at {
+				sel = i
+			}
+		}
+		if sel < 0 {
+			break // all cores done
+		}
+		need := pending[sel]
+		r := runners[sel]
+		if need.at > maxCycles {
+			return nil, fmt.Errorf("sim: core %d exceeded %d cycles", sel, maxCycles)
+		}
+		grant := need.at
+		if sys.Bus != nil {
+			grant = sys.Bus.Request(sel, need.at)
+		}
+		wait := grant - need.at
+		r.stats.BusTrans++
+		r.stats.BusWaitSum += wait
+		if wait > r.stats.BusWaitMax {
+			r.stats.BusWaitMax = wait
+		}
+		// Service: L2 lookup then memory on miss.
+		var done int64
+		if r.l2 != nil {
+			afterL2 := grant + int64(r.l2.Config().HitLatency)
+			if r.l2.Access(need.addr) {
+				r.stats.L2Hits++
+				done = afterL2
+			} else {
+				r.stats.L2Misses++
+				done = ctrl.Access(need.addr, afterL2)
+			}
+		} else {
+			done = ctrl.Access(need.addr, grant)
+		}
+		r.resume(need, done)
+		next, err := r.run(&sys)
+		if err != nil {
+			return nil, err
+		}
+		pending[sel] = next
+	}
+	res := &Result{Stats: make([]CoreStats, len(runners))}
+	for i, r := range runners {
+		if !r.done {
+			return nil, fmt.Errorf("sim: core %d did not halt", i)
+		}
+		res.Stats[i] = r.stats
+	}
+	return res, nil
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

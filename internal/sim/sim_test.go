@@ -1,0 +1,356 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"paratime/internal/arbiter"
+	"paratime/internal/cache"
+	"paratime/internal/core"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/pipeline"
+)
+
+// testMemCfg is the memory device every test uses.
+func testMemCfg() memctrl.Config { return memctrl.DefaultConfig() }
+
+func l1i() cache.Config {
+	return cache.Config{Name: "L1I", Sets: 8, Ways: 2, LineBytes: 16, HitLatency: 1}
+}
+func l1d() cache.Config {
+	return cache.Config{Name: "L1D", Sets: 8, Ways: 2, LineBytes: 16, HitLatency: 1}
+}
+func l2() cache.Config {
+	return cache.Config{Name: "L2", Sets: 32, Ways: 4, LineBytes: 32, HitLatency: 4}
+}
+
+// staticSys mirrors a sim core configuration for the static analyzer.
+func staticSys(busDelay int, withL2 bool) core.SystemConfig {
+	sys := core.SystemConfig{
+		Pipeline: pipeline.DefaultConfig(),
+		Mem: core.MemSystem{
+			L1I:        l1i(),
+			L1D:        l1d(),
+			BusDelay:   busDelay,
+			MemLatency: testMemCfg().Bound(),
+		},
+	}
+	if withL2 {
+		c := l2()
+		sys.Mem.L2 = &c
+	}
+	return sys
+}
+
+func simCore(name string, prog *isa.Program) CoreConfig {
+	return CoreConfig{Name: name, Prog: prog, Pipe: pipeline.DefaultConfig(), L1I: l1i(), L1D: l1d()}
+}
+
+var testPrograms = map[string]string{
+	"countdown": `
+        li   r1, 25
+loop:   add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`,
+	"nested": `
+        li   r1, 5
+outer:  li   r2, 6
+inner:  mul  r4, r2, r2
+        add  r5, r5, r4
+        addi r2, r2, -1
+        bne  r2, r0, inner
+        addi r1, r1, -1
+        bne  r1, r0, outer
+        halt`,
+	"memwalk": `
+        li   r1, 0x8000
+        li   r3, 0x8100
+loop:   ld   r2, 0(r1)
+        add  r4, r4, r2
+        st   r4, 0(r1)
+        addi r1, r1, 4
+        bne  r1, r3, loop
+        halt`,
+	"scalar": `
+        li   r1, 0x9000
+        li   r5, 30
+loop:   ld   r2, 0(r1)
+        addi r2, r2, 3
+        st   r2, 0(r1)
+        addi r5, r5, -1
+        bne  r5, r0, loop
+        halt`,
+	"branchy": `
+        li   r1, 18
+loop:   andi r3, r1, 1
+        beq  r3, r0, even
+        mul  r4, r1, r1
+        j    next
+even:   add  r4, r4, r1
+next:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`,
+}
+
+func prog(t *testing.T, name string) *isa.Program {
+	t.Helper()
+	src, ok := testPrograms[name]
+	if !ok {
+		t.Fatalf("no program %q", name)
+	}
+	return isa.MustAssemble(name, src)
+}
+
+func TestSingleCoreRunsToCompletion(t *testing.T) {
+	for name := range testPrograms {
+		p := prog(t, name)
+		res, err := Run(System{Cores: []CoreConfig{simCore(name, p)}, Mem: testMemCfg()}, 1_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		// Architectural agreement: retired counts match the reference
+		// executor.
+		st := isa.NewState(p)
+		want, err := st.Run(1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats[0].Retired != want {
+			t.Errorf("%s: retired %d, reference %d", name, res.Stats[0].Retired, want)
+		}
+		if res.Stats[0].Cycles <= int64(want) {
+			t.Errorf("%s: cycles %d below retired count %d", name, res.Stats[0].Cycles, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	p := prog(t, "nested")
+	sys := System{
+		Cores:    []CoreConfig{simCore("a", p), simCore("b", prog(t, "memwalk"))},
+		L2:       ptr(l2()),
+		SharedL2: true,
+		Bus:      arbiter.NewRoundRobin(2, 30),
+		Mem:      testMemCfg(),
+	}
+	r1, err := Run(sys, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Bus = arbiter.NewRoundRobin(2, 30) // fresh arbiter state
+	r2, err := Run(sys, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Stats {
+		if r1.Stats[i] != r2.Stats[i] {
+			t.Errorf("core %d stats differ between runs:\n%+v\n%+v", i, r1.Stats[i], r2.Stats[i])
+		}
+	}
+}
+
+func ptr[T any](v T) *T { return &v }
+
+// TestStaticWCETBoundsSimulation is the toolkit's central soundness
+// property (survey §2.1): for every test program and several memory
+// configurations, the static WCET must bound the simulated cycles.
+func TestStaticWCETBoundsSimulation(t *testing.T) {
+	for name := range testPrograms {
+		for _, withL2 := range []bool{false, true} {
+			p := prog(t, name)
+			sys := System{Cores: []CoreConfig{simCore(name, p)}, Mem: testMemCfg()}
+			if withL2 {
+				sys.L2 = ptr(l2())
+			}
+			simRes, err := Run(sys, 10_000_000)
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			a, err := core.Analyze(core.Task{Name: name, Prog: p}, staticSys(0, withL2))
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if a.WCET < simRes.Cycles(0) {
+				t.Errorf("%s (L2=%v): UNSOUND static WCET %d < simulated %d",
+					name, withL2, a.WCET, simRes.Cycles(0))
+			}
+			// Sanity against gross over-estimation (documented slack).
+			if a.WCET > simRes.Cycles(0)*25 {
+				t.Errorf("%s (L2=%v): WCET %d implausibly loose vs sim %d",
+					name, withL2, a.WCET, simRes.Cycles(0))
+			}
+		}
+	}
+}
+
+// TestRoundRobinIsolation validates E12: with private L2s and a
+// round-robin bus, the per-core static WCET computed with D = N·L−1 bounds
+// the simulated time under any co-runner mix, and observed waits never
+// exceed the bound.
+func TestRoundRobinIsolation(t *testing.T) {
+	names := []string{"memwalk", "scalar", "countdown", "nested"}
+	for n := 2; n <= 4; n++ {
+		lat := l2().HitLatency + testMemCfg().Bound()
+		bus := arbiter.NewRoundRobin(n, lat)
+		var cores []CoreConfig
+		for i := 0; i < n; i++ {
+			p := prog(t, names[i%len(names)])
+			cc := simCore(fmt.Sprintf("c%d", i), p)
+			cores = append(cores, cc)
+		}
+		sys := System{Cores: cores, L2: ptr(l2()), SharedL2: false, Bus: bus, Mem: testMemCfg()}
+		simRes, err := Run(sys, 50_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cores {
+			if w := simRes.Stats[i].BusWaitMax; w > int64(bus.Bound(i)) {
+				t.Errorf("n=%d core %d: observed wait %d exceeds bound %d", n, i, w, bus.Bound(i))
+			}
+			a, err := core.Analyze(core.Task{Name: cores[i].Name, Prog: cores[i].Prog},
+				staticSys(bus.Bound(i), true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.WCET < simRes.Cycles(i) {
+				t.Errorf("n=%d core %d: UNSOUND isolated WCET %d < simulated %d",
+					n, i, a.WCET, simRes.Cycles(i))
+			}
+		}
+	}
+}
+
+// TestTDMAIsolation: same soundness with a TDMA bus, using the coarse
+// sum-of-other-slots bound the survey discusses for static analysis.
+func TestTDMAIsolation(t *testing.T) {
+	lat := l2().HitLatency + testMemCfg().Bound()
+	bus := arbiter.NewTDMA([]arbiter.Slot{{Owner: 0, Len: lat}, {Owner: 1, Len: lat}}, lat)
+	cores := []CoreConfig{
+		simCore("a", prog(t, "memwalk")),
+		simCore("b", prog(t, "scalar")),
+	}
+	sys := System{Cores: cores, L2: ptr(l2()), Bus: bus, Mem: testMemCfg()}
+	simRes, err := Run(sys, 50_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cores {
+		if w := simRes.Stats[i].BusWaitMax; w > int64(bus.Bound(i)) {
+			t.Errorf("core %d: observed wait %d exceeds exact TDMA bound %d", i, w, bus.Bound(i))
+		}
+		a, err := core.Analyze(core.Task{Name: cores[i].Name, Prog: cores[i].Prog},
+			staticSys(bus.SumOfOtherSlots(i), true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.WCET < simRes.Cycles(i) {
+			t.Errorf("core %d: UNSOUND TDMA WCET %d < simulated %d", i, a.WCET, simRes.Cycles(i))
+		}
+	}
+}
+
+// TestSharedL2InterferenceObservable reproduces the survey's §2.2 point:
+// with a shared L2, co-runners slow a task down relative to running alone
+// (the solo analysis assumption breaks).
+func TestSharedL2InterferenceObservable(t *testing.T) {
+	victim := prog(t, "scalar")
+	// A thrashing co-runner rewriting many distinct lines.
+	thrasher := isa.MustAssemble("thrash", `
+        li   r1, 0xA000
+        li   r3, 0xB000
+loop:   st   r2, 0(r1)
+        addi r1, r1, 32
+        bne  r1, r3, loop
+        halt`)
+	smallL2 := cache.Config{Name: "L2", Sets: 8, Ways: 2, LineBytes: 32, HitLatency: 4}
+	solo := System{
+		Cores: []CoreConfig{simCore("victim", victim)},
+		L2:    &smallL2, SharedL2: true, Mem: testMemCfg(),
+	}
+	soloRes, err := Run(solo, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	both := System{
+		Cores:    []CoreConfig{simCore("victim", victim), simCore("thrash", thrasher)},
+		L2:       &smallL2,
+		SharedL2: true,
+		Bus:      arbiter.NewRoundRobin(2, smallL2.HitLatency+testMemCfg().Bound()),
+		Mem:      testMemCfg(),
+	}
+	bothRes, err := Run(both, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bothRes.Cycles(0) <= soloRes.Cycles(0) {
+		t.Errorf("co-runner did not slow the victim: solo %d, contended %d",
+			soloRes.Cycles(0), bothRes.Cycles(0))
+	}
+}
+
+// TestRandomizedSoundness fuzzes loop-nest programs and checks the static
+// bound on every one.
+func TestRandomizedSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 25; trial++ {
+		outer := 1 + rng.Intn(5)
+		inner := 1 + rng.Intn(8)
+		stride := 4 * (1 + rng.Intn(8))
+		n := 4 + rng.Intn(12)
+		src := fmt.Sprintf(`
+        li   r1, %d
+outer:  li   r2, %d
+        li   r3, 0x8000
+        li   r6, %d
+inner:  ld   r4, 0(r3)
+        add  r5, r5, r4
+        st   r5, 0(r3)
+        addi r3, r3, %d
+        bne  r3, r6, inner
+        addi r2, r2, -1
+        bne  r2, r0, skip
+skip:   addi r1, r1, -1
+        bne  r1, r0, outer
+        halt`, outer, inner, 0x8000+n*stride, stride)
+		_ = inner
+		p := isa.MustAssemble("fuzz", src)
+		sys := System{Cores: []CoreConfig{simCore("fuzz", p)}, L2: ptr(l2()), Mem: testMemCfg()}
+		simRes, err := Run(sys, 50_000_000)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		a, err := core.Analyze(core.Task{Name: "fuzz", Prog: p}, staticSys(0, true))
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		if a.WCET < simRes.Cycles(0) {
+			t.Fatalf("trial %d: UNSOUND WCET %d < sim %d\n%s", trial, a.WCET, simRes.Cycles(0), src)
+		}
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	p := prog(t, "nested")
+	if _, err := Run(System{Cores: []CoreConfig{simCore("x", p)}, Mem: testMemCfg()}, 10); err == nil {
+		t.Skip("program finished within tiny budget; guard untestable here")
+	}
+}
+
+func TestStatspopulated(t *testing.T) {
+	p := prog(t, "memwalk")
+	sys := System{Cores: []CoreConfig{simCore("m", p)}, L2: ptr(l2()), Mem: testMemCfg()}
+	res, err := Run(sys, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := res.Stats[0]
+	if s.L1DMisses == 0 || s.BusTrans == 0 {
+		t.Errorf("expected misses and bus transactions: %+v", s)
+	}
+	if s.L2Hits+s.L2Misses != s.BusTrans {
+		t.Errorf("L2 lookups %d != bus transactions %d", s.L2Hits+s.L2Misses, s.BusTrans)
+	}
+}

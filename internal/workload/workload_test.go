@@ -1,0 +1,167 @@
+package workload
+
+import (
+	"testing"
+
+	"paratime/internal/core"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/pipeline"
+	"paratime/internal/sim"
+)
+
+// TestSuiteRunsAndVerifies executes every benchmark architecturally and
+// checks functional postconditions where they are cheap to state.
+func TestSuiteRunsAndVerifies(t *testing.T) {
+	for _, task := range Suite() {
+		st := isa.NewState(task.Prog)
+		if _, err := st.Run(10_000_000); err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+	}
+}
+
+func TestFibComputesFibonacci(t *testing.T) {
+	task := Fib(10, Slot(0))
+	st := isa.NewState(task.Prog)
+	if _, err := st.Run(100000); err != nil {
+		t.Fatal(err)
+	}
+	// After n iterations: r1 = fib(n) with fib(0)=0, fib(1)=1.
+	if st.Reg[isa.R1] != 55 {
+		t.Errorf("fib(10) = %d, want 55", st.Reg[isa.R1])
+	}
+}
+
+func TestBSortSorts(t *testing.T) {
+	task := BSort(12, Slot(0))
+	st := isa.NewState(task.Prog)
+	if _, err := st.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	base := task.Prog.DataLabels["arr"]
+	prev := int32(-1 << 30)
+	for i := 0; i < 12; i++ {
+		v := st.Mem[base+uint32(i)*4]
+		if v < prev {
+			t.Fatalf("arr[%d] = %d < %d: not sorted", i, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestMatMultCorrect(t *testing.T) {
+	n := 4
+	task := MatMult(n, Slot(0))
+	st := isa.NewState(task.Prog)
+	if _, err := st.Run(10_000_000); err != nil {
+		t.Fatal(err)
+	}
+	a := task.Prog.DataLabels["A"]
+	bb := task.Prog.DataLabels["B"]
+	c := task.Prog.DataLabels["C"]
+	get := func(base uint32, i, j int) int32 { return st.Mem[base+uint32((i*n+j)*4)] }
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want int32
+			for k := 0; k < n; k++ {
+				want += get(a, i, k) * get(bb, k, j)
+			}
+			if got := get(c, i, j); got != want {
+				t.Fatalf("C[%d][%d] = %d, want %d", i, j, got, want)
+			}
+		}
+	}
+}
+
+func TestMemCopyCopies(t *testing.T) {
+	task := MemCopy(32, Slot(0))
+	st := isa.NewState(task.Prog)
+	if _, err := st.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	src := task.Prog.DataLabels["src"]
+	dst := task.Prog.DataLabels["dst"]
+	for i := uint32(0); i < 32; i++ {
+		if st.Mem[src+i*4] != st.Mem[dst+i*4] {
+			t.Fatalf("word %d not copied", i)
+		}
+	}
+}
+
+// TestSuiteAnalyzesAndBoundIsSound analyzes every benchmark and checks
+// WCET >= simulated cycles — the suite-wide E1 property.
+func TestSuiteAnalyzesAndBoundIsSound(t *testing.T) {
+	sys := core.DefaultSystem()
+	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
+	for _, task := range Suite() {
+		a, err := core.Analyze(task, sys)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		simSys := sim.System{
+			Cores: []sim.CoreConfig{{
+				Name: task.Name, Prog: task.Prog,
+				Pipe: pipeline.DefaultConfig(),
+				L1I:  sys.Mem.L1I, L1D: sys.Mem.L1D,
+			}},
+			L2:  sys.Mem.L2,
+			Mem: memctrl.DefaultConfig(),
+		}
+		res, err := sim.Run(simSys, 100_000_000)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name, err)
+		}
+		if a.WCET < res.Cycles(0) {
+			t.Errorf("%s: UNSOUND WCET %d < sim %d", task.Name, a.WCET, res.Cycles(0))
+		}
+		if a.WCET > res.Cycles(0)*30 {
+			t.Errorf("%s: WCET %d implausibly loose vs sim %d", task.Name, a.WCET, res.Cycles(0))
+		}
+	}
+}
+
+func TestRandomProgramsAnalyzable(t *testing.T) {
+	sys := core.DefaultSystem()
+	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
+	for seed := int64(0); seed < 20; seed++ {
+		task := Random(seed, Slot(0))
+		a, err := core.Analyze(task, sys)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		simSys := sim.System{
+			Cores: []sim.CoreConfig{{
+				Name: task.Name, Prog: task.Prog,
+				Pipe: pipeline.DefaultConfig(),
+				L1I:  sys.Mem.L1I, L1D: sys.Mem.L1D,
+			}},
+			L2:  sys.Mem.L2,
+			Mem: memctrl.DefaultConfig(),
+		}
+		res, err := sim.Run(simSys, 100_000_000)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if a.WCET < res.Cycles(0) {
+			t.Errorf("seed %d: UNSOUND WCET %d < sim %d", seed, a.WCET, res.Cycles(0))
+		}
+	}
+}
+
+func TestSlotsDisjoint(t *testing.T) {
+	tasks := Suite()
+	for i := range tasks {
+		for j := i + 1; j < len(tasks); j++ {
+			a, b := tasks[i].Prog, tasks[j].Prog
+			if a.Base < b.End() && b.Base < a.End() {
+				t.Errorf("%s and %s text overlap", a.Name, b.Name)
+			}
+			for addr := range a.Data {
+				if _, clash := b.Data[addr]; clash {
+					t.Errorf("%s and %s data overlap at 0x%x", a.Name, b.Name, addr)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package paratime is a self-contained toolkit for the static worst-case
+// execution time (WCET) analysis of tasks on parallel architectures —
+// multicores with shared caches and buses, and multithreaded cores — as
+// surveyed by Rochange, "An Overview of Approaches Towards the Timing
+// Analysability of Parallel Architectures" (PPES 2011).
+//
+// The toolkit implements the full static analysis stack of the survey's
+// §2 (CFG reconstruction, loop-bound derivation, Must/May/Persistence
+// cache abstract interpretation, context-parameterized pipeline costing,
+// IPET over an exact rational ILP solver) and every family of approaches
+// from §3–§5: joint shared-cache analyses (Yan & Zhang; Li et al. with
+// lifetime refinement; Hardy et al. bypass), statically-controlled
+// sharing (cache partitioning, locking, TDMA bus schedules), and task
+// isolation (round-robin and multi-bandwidth arbiters, CarCore-style HRT
+// priority, the PRET thread-interleaved pipeline with its memory wheel).
+// A deterministic cycle-accurate multicore simulator validates every
+// bound.
+//
+// Quick start:
+//
+//	prog := paratime.MustAssemble("demo", `
+//	        li   r1, 10
+//	loop:   addi r1, r1, -1
+//	        bne  r1, r0, loop
+//	        halt`)
+//	a, err := paratime.Analyze(paratime.Task{Name: "demo", Prog: prog},
+//	        paratime.DefaultSystem())
+//	fmt.Println(a.WCET)
+package paratime
+
+import (
+	"fmt"
+
+	"paratime/internal/arbiter"
+	"paratime/internal/cache"
+	"paratime/internal/core"
+	"paratime/internal/flow"
+	"paratime/internal/interfere"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/pipeline"
+	"paratime/internal/sim"
+	"paratime/internal/workload"
+)
+
+// Core analysis types.
+type (
+	// Task is one unit of WCET analysis: a program plus flow annotations.
+	Task = core.Task
+	// SystemConfig describes the analyzed core and memory hierarchy.
+	SystemConfig = core.SystemConfig
+	// MemSystem is the memory-hierarchy part of a SystemConfig.
+	MemSystem = core.MemSystem
+	// Analysis holds every artefact of one task's analysis.
+	Analysis = core.Analysis
+	// CacheConfig describes one cache level.
+	CacheConfig = cache.Config
+	// Program is a linked executable image for the toolkit's ISA.
+	Program = isa.Program
+	// Facts carries loop-bound annotations and extra path constraints.
+	Facts = flow.Facts
+	// Arbiter is a shared-bus arbitration policy (bound + simulation).
+	Arbiter = arbiter.Arbiter
+	// MemConfig parameterizes the analyzable memory controller.
+	MemConfig = memctrl.Config
+	// SimSystem is a multicore simulation configuration.
+	SimSystem = sim.System
+	// SimResult reports per-core simulation statistics.
+	SimResult = sim.Result
+)
+
+// Assemble parses assembler text into a Program (see isa.Assemble for the
+// syntax).
+func Assemble(name, src string) (*Program, error) { return isa.Assemble(name, src) }
+
+// MustAssemble is Assemble, panicking on error.
+func MustAssemble(name, src string) *Program { return isa.MustAssemble(name, src) }
+
+// NewFacts returns an empty annotation set.
+func NewFacts() *Facts { return flow.NewFacts() }
+
+// DefaultSystem returns a small embedded configuration with private L1s,
+// a unified L2, and an analyzable closed-page memory controller bound.
+func DefaultSystem() SystemConfig {
+	sys := core.DefaultSystem()
+	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
+	return sys
+}
+
+// Analyze runs the complete static WCET analysis of one task.
+func Analyze(task Task, sys SystemConfig) (*Analysis, error) { return core.Analyze(task, sys) }
+
+// Prepare runs the analysis up to cache classification, for callers that
+// apply interference or locking adjustments before pricing.
+func Prepare(task Task, sys SystemConfig) (*Analysis, error) { return core.Prepare(task, sys) }
+
+// Arbiters.
+
+// NewRoundRobinBus returns a round-robin bus for n cores with the given
+// transaction latency; its per-core delay bound is N·L−1.
+func NewRoundRobinBus(n, lat int) Arbiter { return arbiter.NewRoundRobin(n, lat) }
+
+// NewTDMABus returns a slot-table bus (Rosén et al.).
+func NewTDMABus(slots []arbiter.Slot, lat int) *arbiter.TDMA { return arbiter.NewTDMA(slots, lat) }
+
+// NewMultiBandwidthBus returns an MBBA-style weighted bus.
+func NewMultiBandwidthBus(weights []int, lat int) *arbiter.TDMA {
+	return arbiter.NewMultiBandwidth(weights, lat)
+}
+
+// TransactionLatency returns the bus occupancy covering one full memory
+// round trip for the given system (L2 lookup plus worst-case memory).
+func TransactionLatency(sys SystemConfig, mem MemConfig) int {
+	l := mem.Bound()
+	if sys.Mem.L2 != nil {
+		l += sys.Mem.L2.HitLatency
+	}
+	return l
+}
+
+// WithBusDelay returns a copy of the system configuration carrying the
+// arbitration bound as the per-transaction BusDelay.
+func WithBusDelay(sys SystemConfig, d int) SystemConfig {
+	sys.Mem.BusDelay = d
+	return sys
+}
+
+// Simulation.
+
+// BuildSim assembles a multicore simulation where every core runs one
+// task under the same core/memory configuration.
+func BuildSim(sys SystemConfig, mem MemConfig, bus Arbiter, sharedL2 bool, tasks ...Task) SimSystem {
+	s := sim.System{L2: sys.Mem.L2, SharedL2: sharedL2, Bus: bus, Mem: mem}
+	for _, t := range tasks {
+		s.Cores = append(s.Cores, sim.CoreConfig{
+			Name: t.Name,
+			Prog: t.Prog,
+			Pipe: sys.Pipeline,
+			L1I:  sys.Mem.L1I,
+			L1D:  sys.Mem.L1D,
+		})
+	}
+	return s
+}
+
+// Simulate runs a simulation to completion.
+func Simulate(s SimSystem, maxCycles int64) (*SimResult, error) { return sim.Run(s, maxCycles) }
+
+// Joint shared-cache analysis (survey §4.1).
+
+// ConflictModel selects the shared-L2 interference semantics.
+type ConflictModel = interfere.ConflictModel
+
+// Conflict models.
+const (
+	// DirectMapped is Yan & Zhang's set-kill model.
+	DirectMapped = interfere.DirectMapped
+	// AgeShift is Li et al.'s distinct-foreign-line aging model.
+	AgeShift = interfere.AgeShift
+)
+
+// AnalyzeJoint computes solo and conflict-aware WCETs for co-scheduled
+// tasks sharing the system's L2.
+func AnalyzeJoint(tasks []Task, sys SystemConfig, model ConflictModel) (*interfere.JointResult, error) {
+	var as []*core.Analysis
+	for _, t := range tasks {
+		a, err := core.Prepare(t, sys)
+		if err != nil {
+			return nil, err
+		}
+		as = append(as, a)
+	}
+	return interfere.AnalyzeJoint(as, model)
+}
+
+// Workload.
+
+// Suite returns the built-in benchmark tasks at disjoint address ranges.
+func Suite() []Task { return workload.Suite() }
+
+// Bench returns one named benchmark from the suite.
+func Bench(name string) (Task, error) {
+	for _, t := range workload.Suite() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Task{}, fmt.Errorf("paratime: no benchmark %q", name)
+}
+
+// DefaultMemConfig returns the standard analyzable memory device.
+func DefaultMemConfig() MemConfig { return memctrl.DefaultConfig() }
+
+// DefaultPipeline returns the standard pipeline parameterization.
+func DefaultPipeline() pipeline.Config { return pipeline.DefaultConfig() }

@@ -1,0 +1,79 @@
+package paratime
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	prog := MustAssemble("t", `
+        li   r1, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`)
+	a, err := Analyze(Task{Name: "t", Prog: prog}, DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WCET <= 0 {
+		t.Fatal("no WCET")
+	}
+	res, err := Simulate(BuildSim(DefaultSystem(), DefaultMemConfig(), nil, false,
+		Task{Name: "t", Prog: prog}), 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.WCET < res.Cycles(0) {
+		t.Fatalf("facade bound unsound: %d < %d", a.WCET, res.Cycles(0))
+	}
+}
+
+func TestFacadeSuiteAndBench(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 7 {
+		t.Fatalf("suite has %d tasks", len(suite))
+	}
+	if _, err := Bench(suite[0].Name); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Bench("nonexistent"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+func TestFacadeJoint(t *testing.T) {
+	sys := DefaultSystem()
+	res, err := AnalyzeJoint(Suite()[:3], sys, AgeShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Names {
+		if res.JointWCET[i] < res.SoloWCET[i] {
+			t.Errorf("joint %d below solo %d", res.JointWCET[i], res.SoloWCET[i])
+		}
+	}
+}
+
+func TestFacadeArbiters(t *testing.T) {
+	sys := DefaultSystem()
+	lat := TransactionLatency(sys, DefaultMemConfig())
+	rr := NewRoundRobinBus(4, lat)
+	if rr.Bound(0) != 4*lat-1 {
+		t.Errorf("rr bound = %d, want N*L-1 = %d", rr.Bound(0), 4*lat-1)
+	}
+	mb := NewMultiBandwidthBus([]int{2, 1}, lat)
+	if mb.Bound(0) > mb.Bound(1) {
+		t.Error("heavier weight should not get a worse bound")
+	}
+	if !strings.Contains(mb.Name(), "mbba") {
+		t.Error("arbiter name")
+	}
+}
+
+func TestWithBusDelayDoesNotMutate(t *testing.T) {
+	sys := DefaultSystem()
+	_ = WithBusDelay(sys, 99)
+	if sys.Mem.BusDelay != 0 {
+		t.Error("WithBusDelay mutated its argument")
+	}
+}
