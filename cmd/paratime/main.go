@@ -21,6 +21,7 @@ import (
 
 	"paratime"
 	"paratime/internal/cfg"
+	"paratime/internal/engine"
 	"paratime/internal/experiments"
 	"paratime/internal/flow"
 )
@@ -82,19 +83,31 @@ func run(args []string) error {
 			return nil
 		})
 	case "suite":
+		// Analyses fan out across the batch engine's worker pool and the
+		// validation simulations across a matching pool; results print in
+		// task order, byte-identical to the sequential loop.
 		sys := paratime.DefaultSystem()
-		for _, task := range paratime.Suite() {
-			a, err := paratime.Analyze(task, sys)
-			if err != nil {
-				return err
-			}
-			s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false, task)
+		tasks := paratime.Suite()
+		as, err := paratime.AnalyzeAll(tasks, sys)
+		if err != nil {
+			return err
+		}
+		sims := make([]*paratime.SimResult, len(tasks))
+		err = engine.ForEach(0, len(tasks), func(i int) error {
+			s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false, tasks[i])
 			res, err := paratime.Simulate(s, 1_000_000_000)
 			if err != nil {
 				return err
 			}
+			sims[i] = res
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		for i, task := range tasks {
 			fmt.Printf("%-12s WCET %8d   sim %8d   %s\n",
-				task.Name, a.WCET, res.Cycles(0), a.ClassSummary())
+				task.Name, as[i].WCET, sims[i].Cycles(0), as[i].ClassSummary())
 		}
 		return nil
 	case "exp":
@@ -105,14 +118,28 @@ func run(args []string) error {
 		if args[1] == "all" {
 			ids = experiments.IDs
 		}
-		for _, id := range ids {
+		runners := make([]experiments.Runner, len(ids))
+		for i, id := range ids {
 			runner, ok := experiments.All[strings.ToLower(id)]
 			if !ok {
 				return fmt.Errorf("unknown experiment %q (try 'paratime list')", id)
 			}
-			res, err := runner()
+			runners[i] = runner
+		}
+		// Experiments are independent; run them concurrently and print in
+		// id order (up to the first failure, as the sequential loop did).
+		results := make([]*experiments.Result, len(ids))
+		runErr := engine.ForEach(0, len(ids), func(i int) error {
+			res, err := runners[i]()
 			if err != nil {
-				return err
+				return fmt.Errorf("%s: %w", ids[i], err)
+			}
+			results[i] = res
+			return nil
+		})
+		for _, res := range results {
+			if res == nil {
+				return runErr
 			}
 			res.Table.Fprint(os.Stdout)
 			keys := make([]string, 0, len(res.Metrics))

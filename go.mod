@@ -1,0 +1,3 @@
+module paratime
+
+go 1.24

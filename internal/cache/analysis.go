@@ -397,6 +397,31 @@ func (res *Result) Reclassify(shift map[int]int) {
 	res.classify(res.g, res.stream)
 }
 
+// Clone returns a copy that can be independently Reclassified without
+// disturbing the receiver: the classification map and interference shift
+// are copied, while the fixpoint states, persistence tables, graph and
+// stream — immutable after Analyze — stay shared. When cac is non-nil it
+// replaces the retained access-classification map, so a caller that
+// clones its CAC map alongside (the batch engine's memoized multi-level
+// analyses do) keeps the pair consistent.
+func (res *Result) Clone(cac map[RefID]CAC) *Result {
+	c := *res
+	c.Classes = make(map[RefID]RefClass, len(res.Classes))
+	for k, v := range res.Classes {
+		c.Classes[k] = v
+	}
+	if res.shift != nil {
+		c.shift = make(map[int]int, len(res.shift))
+		for k, v := range res.shift {
+			c.shift[k] = v
+		}
+	}
+	if cac != nil {
+		c.cac = cac
+	}
+	return &c
+}
+
 // Stream returns the reference stream the result was computed over.
 func (res *Result) Stream() *Stream { return res.stream }
 

@@ -205,6 +205,58 @@ func (a *Analysis) RecomputeL2() error {
 	return nil
 }
 
+// Clone returns an independently usable copy of a prepared analysis:
+// every artefact a downstream pass may mutate (the L2 result, CAC map,
+// bypass and override sets, extra IPET events, and the WCET outputs) is
+// copied, while the immutable prefix (graph, flow facts, reference
+// streams, L1 results) is shared. Interference re-classification,
+// bypass, locking and ComputeWCET on the clone leave the receiver — and
+// every other clone — untouched, which is what lets the batch engine
+// hand one memoized Prepare result to many concurrent consumers.
+func (a *Analysis) Clone() *Analysis {
+	c := *a
+	if a.CAC != nil {
+		c.CAC = make(map[cache.RefID]cache.CAC, len(a.CAC))
+		for k, v := range a.CAC {
+			c.CAC[k] = v
+		}
+	}
+	c.Bypass = make(map[cache.RefID]bool, len(a.Bypass))
+	for k, v := range a.Bypass {
+		c.Bypass[k] = v
+	}
+	if a.L2Override != nil {
+		c.L2Override = make(map[cache.RefID]cache.Class, len(a.L2Override))
+		for k, v := range a.L2Override {
+			c.L2Override[k] = v
+		}
+	}
+	c.ExtraEvents = append([]ipet.Event(nil), a.ExtraEvents...)
+	if a.L2 != nil {
+		c.L2 = a.L2.Clone(c.CAC)
+	}
+	c.WCET, c.IPET, c.Pipe = 0, nil, nil
+	return &c
+}
+
+// PrepareKey returns the content key under which Prepare's artefacts can
+// be memoized: everything Prepare reads — the program text and data, the
+// flow annotations, and the three cache geometries — and nothing it does
+// not (pipeline parameters, bus delay and memory latency only enter at
+// ComputeWCET, so one prepared prefix serves every bus-arbiter or
+// pipeline sweep over the same task).
+func PrepareKey(task Task, sys SystemConfig) string {
+	var sb strings.Builder
+	sb.WriteString(task.Prog.Fingerprint())
+	sb.WriteByte('|')
+	sb.WriteString(task.Facts.Fingerprint())
+	fmt.Fprintf(&sb, "|%+v|%+v|", sys.Mem.L1I, sys.Mem.L1D)
+	if sys.Mem.L2 != nil {
+		fmt.Fprintf(&sb, "%+v", *sys.Mem.L2)
+	}
+	return sb.String()
+}
+
 // MergedID maps an L1 reference to its merged-stream identity.
 func (a *Analysis) MergedID(origin RefOrigin, id cache.RefID) (cache.RefID, bool) {
 	if a.mergedOf == nil {

@@ -1,0 +1,239 @@
+// Package engine provides concurrent batch WCET analysis: it fans
+// independent (Task, SystemConfig) requests across a bounded worker pool
+// and memoizes the expensive analysis prefix — assembled program → CFG +
+// loop bounds → cache classification, i.e. everything core.Prepare
+// computes — under a content key, so repeated configurations (the same
+// task priced under several bus arbiters, or re-analyzed by successive
+// experiments) reuse the prepared artefacts instead of recomputing them.
+//
+// Determinism is preserved by construction: each request's analysis runs
+// the same single-threaded code the sequential path runs, on a private
+// clone of the (immutable-prefix-sharing) prepared artefacts, and
+// results are returned in request order. The engine therefore yields
+// bit-identical WCETs to looping core.Analyze, at any worker count.
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"paratime/internal/core"
+	"paratime/internal/interfere"
+)
+
+// Request is one unit of batch analysis.
+type Request struct {
+	Task core.Task
+	Sys  core.SystemConfig
+}
+
+// Engine is a concurrent batch analyzer with a memoized prepare cache.
+// The zero value is not ready; use New. An Engine is safe for concurrent
+// use, including nested calls from requests it is itself running.
+type Engine struct {
+	workers int
+
+	mu     sync.Mutex
+	memo   map[string]*memoEntry
+	hits   uint64
+	misses uint64
+}
+
+// memoEntry latches one Prepare computation; once guarantees the work
+// runs exactly once even when many workers request the same key.
+type memoEntry struct {
+	once sync.Once
+	a    *core.Analysis
+	err  error
+}
+
+// New returns an engine running at most workers concurrent analyses;
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Engine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{workers: workers, memo: map[string]*memoEntry{}}
+}
+
+// Workers returns the pool bound.
+func (e *Engine) Workers() int { return e.workers }
+
+// Stats reports memo cache hits and misses so far.
+func (e *Engine) Stats() (hits, misses uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.hits, e.misses
+}
+
+// Reset drops every memoized artefact (e.g. between unrelated sweeps, to
+// bound memory).
+func (e *Engine) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.memo = map[string]*memoEntry{}
+}
+
+// prepare returns a private clone of the memoized prepared analysis for
+// the request, computing and caching it on first use. The clone carries
+// the request's own task identity and full system configuration (the
+// memo key deliberately excludes pipeline and bus/memory latencies —
+// see core.PrepareKey).
+func (e *Engine) prepare(task core.Task, sys core.SystemConfig) (*core.Analysis, error) {
+	key := core.PrepareKey(task, sys)
+	e.mu.Lock()
+	ent, ok := e.memo[key]
+	if !ok {
+		ent = &memoEntry{}
+		e.memo[key] = ent
+		e.misses++
+	} else {
+		e.hits++
+	}
+	e.mu.Unlock()
+	ran := false
+	ent.once.Do(func() {
+		ran = true
+		ent.a, ent.err = core.Prepare(task, sys)
+	})
+	if ent.err != nil {
+		if ran {
+			return nil, ent.err
+		}
+		// A cached failure carries the first requester's task name; re-run
+		// Prepare (cold path) so the error is attributed to this request
+		// and batch error reporting stays deterministic.
+		if _, err := core.Prepare(task, sys); err != nil {
+			return nil, err
+		}
+		return nil, ent.err
+	}
+	c := ent.a.Clone()
+	c.Task = task
+	c.Sys = sys
+	return c, nil
+}
+
+// ForEach runs f(0..n-1) across at most workers goroutines (<= 0 selects
+// GOMAXPROCS) and returns the error of the lowest index that failed, so
+// the reported failure does not depend on scheduling. After a failure no
+// further indices are dispatched (in-flight work completes); because
+// dispatch is in index order, every index below the first failure still
+// runs, keeping the returned error deterministic. It is the generic
+// fan-out primitive under the batch entry points, exported for callers
+// (the CLI's experiment runner) whose work items are not analyses.
+func ForEach(workers, n int, f func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if n == 0 {
+		return nil
+	}
+	errs := make([]error, n)
+	idx := make(chan int)
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if errs[i] = f(i); errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n && !failed.Load(); i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// batch runs one analysis step per request across the pool, returning
+// results in request order.
+func (e *Engine) batch(reqs []Request, step func(Request) (*core.Analysis, error)) ([]*core.Analysis, error) {
+	out := make([]*core.Analysis, len(reqs))
+	err := ForEach(e.workers, len(reqs), func(i int) error {
+		a, err := step(reqs[i])
+		if err != nil {
+			return err
+		}
+		out[i] = a
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// PrepareAll runs the analysis prefix (through cache classification) for
+// every request, sharing memoized artefacts. Each returned Analysis is a
+// private clone: interference, bypass or locking adjustments on one
+// never leak into another.
+func (e *Engine) PrepareAll(reqs []Request) ([]*core.Analysis, error) {
+	return e.batch(reqs, func(r Request) (*core.Analysis, error) {
+		return e.prepare(r.Task, r.Sys)
+	})
+}
+
+// AnalyzeAll runs the complete static WCET analysis for every request.
+// Results are in request order and bit-identical to calling core.Analyze
+// sequentially per request.
+func (e *Engine) AnalyzeAll(reqs []Request) ([]*core.Analysis, error) {
+	return e.batch(reqs, func(r Request) (*core.Analysis, error) {
+		a, err := e.prepare(r.Task, r.Sys)
+		if err != nil {
+			return nil, err
+		}
+		if err := a.ComputeWCET(); err != nil {
+			return nil, fmt.Errorf("task %s: %w", r.Task.Name, err)
+		}
+		return a, nil
+	})
+}
+
+// Analyze is the single-request convenience: one fully priced analysis,
+// still sharing the engine's memo cache.
+func (e *Engine) Analyze(task core.Task, sys core.SystemConfig) (*core.Analysis, error) {
+	as, err := e.AnalyzeAll([]Request{{Task: task, Sys: sys}})
+	if err != nil {
+		return nil, err
+	}
+	return as[0], nil
+}
+
+// Requests builds a request batch pairing every task with one system
+// configuration (the common suite / joint-analysis shape).
+func Requests(tasks []core.Task, sys core.SystemConfig) []Request {
+	reqs := make([]Request, len(tasks))
+	for i, t := range tasks {
+		reqs[i] = Request{Task: t, Sys: sys}
+	}
+	return reqs
+}
+
+// AnalyzeJoint prepares every co-scheduled task through the engine's
+// pool and memo cache, then runs the shared-L2 joint analysis of §4.1 on
+// the prepared set. It replaces the sequential per-task Prepare loop of
+// the facade's AnalyzeJoint.
+func (e *Engine) AnalyzeJoint(tasks []core.Task, sys core.SystemConfig, model interfere.ConflictModel) (*interfere.JointResult, error) {
+	as, err := e.PrepareAll(Requests(tasks, sys))
+	if err != nil {
+		return nil, err
+	}
+	return interfere.AnalyzeJoint(as, model)
+}

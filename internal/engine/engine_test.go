@@ -1,0 +1,261 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"paratime/internal/core"
+	"paratime/internal/flow"
+	"paratime/internal/interfere"
+	"paratime/internal/memctrl"
+	"paratime/internal/workload"
+)
+
+func testSys() core.SystemConfig {
+	sys := core.DefaultSystem()
+	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
+	return sys
+}
+
+// TestAnalyzeAllMatchesSequential: the pooled batch path must be
+// bit-identical to looping core.Analyze — same WCETs, same
+// classification counts.
+func TestAnalyzeAllMatchesSequential(t *testing.T) {
+	sys := testSys()
+	tasks := workload.Suite()
+	as, err := New(0).AnalyzeAll(Requests(tasks, sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		ref, err := core.Analyze(task, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if as[i].WCET != ref.WCET {
+			t.Errorf("%s: engine WCET %d != sequential %d", task.Name, as[i].WCET, ref.WCET)
+		}
+		if got, want := as[i].ClassSummary(), ref.ClassSummary(); got != want {
+			t.Errorf("%s: classes %q != %q", task.Name, got, want)
+		}
+	}
+}
+
+// TestDeterminismAcrossGOMAXPROCS: the full suite analyzed at
+// GOMAXPROCS=1 and GOMAXPROCS=8 must yield identical WCETs (the
+// acceptance bar for a deterministic WCET tool).
+func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	sys := testSys()
+	tasks := workload.Suite()
+	wcets := func(procs int) []int64 {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		as, err := New(0).AnalyzeAll(Requests(tasks, sys))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]int64, len(as))
+		for i, a := range as {
+			out[i] = a.WCET
+		}
+		return out
+	}
+	w1, w8 := wcets(1), wcets(8)
+	for i := range w1 {
+		if w1[i] != w8[i] {
+			t.Errorf("%s: WCET %d at GOMAXPROCS=1 vs %d at GOMAXPROCS=8",
+				tasks[i].Name, w1[i], w8[i])
+		}
+	}
+}
+
+// TestMemoReuseAcrossBusSweep: the same task under different bus bounds
+// shares one prepared prefix (bus delay only enters at pricing), and the
+// memoized results still match direct analysis.
+func TestMemoReuseAcrossBusSweep(t *testing.T) {
+	e := New(0)
+	task := workload.CRC(8, workload.Slot(0))
+	var reqs []Request
+	delays := []int{0, 7, 23, 95}
+	for _, d := range delays {
+		sys := testSys()
+		sys.Mem.BusDelay = d
+		reqs = append(reqs, Request{Task: task, Sys: sys})
+	}
+	as, err := e.AnalyzeAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses := e.Stats()
+	if misses != 1 || hits != uint64(len(delays)-1) {
+		t.Errorf("stats = %d hits / %d misses, want %d / 1", hits, misses, len(delays)-1)
+	}
+	prev := int64(-1)
+	for i, a := range as {
+		ref, err := core.Analyze(task, reqs[i].Sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.WCET != ref.WCET {
+			t.Errorf("delay %d: memoized WCET %d != direct %d", delays[i], a.WCET, ref.WCET)
+		}
+		if a.WCET <= prev {
+			t.Errorf("delay %d: WCET %d not increasing with bus delay", delays[i], a.WCET)
+		}
+		prev = a.WCET
+	}
+}
+
+// TestCloneIsolation: two clones of one memoized Prepare must not leak
+// mutations into each other — reclassifying one (the joint-analysis
+// mutation) leaves the other's WCET at the solo value.
+func TestCloneIsolation(t *testing.T) {
+	e := New(1)
+	task := workload.CRC(8, workload.Slot(0))
+	sys := testSys()
+	as, err := e.PrepareAll(Requests([]core.Task{task, task}, sys))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits, misses := e.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("stats = %d hits / %d misses, want 1 / 1", hits, misses)
+	}
+	// Corrupt every L2 set of the first clone.
+	shift := map[int]int{}
+	for s := 0; s < as[0].L2.Cfg.Sets; s++ {
+		shift[s] = as[0].L2.Cfg.Ways
+	}
+	as[0].L2.Reclassify(shift)
+	if err := as[0].ComputeWCET(); err != nil {
+		t.Fatal(err)
+	}
+	if err := as[1].ComputeWCET(); err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Analyze(task, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if as[1].WCET != ref.WCET {
+		t.Errorf("untouched clone WCET %d != solo %d (mutation leaked)", as[1].WCET, ref.WCET)
+	}
+	if as[0].WCET <= as[1].WCET {
+		t.Errorf("corrupted clone WCET %d not above solo %d", as[0].WCET, as[1].WCET)
+	}
+}
+
+// TestAnalyzeJointMatchesSequential: the engine's joint analysis equals
+// the sequential Prepare-loop version.
+func TestAnalyzeJointMatchesSequential(t *testing.T) {
+	sys := testSys()
+	tasks := workload.Suite()[:3]
+	got, err := New(0).AnalyzeJoint(tasks, sys, interfere.AgeShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var as []*core.Analysis
+	for _, task := range tasks {
+		a, err := core.Prepare(task, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		as = append(as, a)
+	}
+	want, err := interfere.AnalyzeJoint(as, interfere.AgeShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want.Names {
+		if got.SoloWCET[i] != want.SoloWCET[i] || got.JointWCET[i] != want.JointWCET[i] {
+			t.Errorf("%s: engine solo/joint %d/%d != sequential %d/%d", want.Names[i],
+				got.SoloWCET[i], got.JointWCET[i], want.SoloWCET[i], want.JointWCET[i])
+		}
+	}
+}
+
+// TestErrorIsLowestIndex: with several failing requests, the reported
+// error must be the lowest-index one — carrying that request's task
+// name — regardless of scheduling.
+func TestErrorIsLowestIndex(t *testing.T) {
+	sys := testSys()
+	bad := workload.CRC(8, workload.Slot(1))
+	bad.Facts = flow.NewFacts().Bound("nosuchlabel", 3) // unknown label: Prepare fails
+	reqs := Requests([]core.Task{workload.CRC(8, workload.Slot(0)), bad, bad}, sys)
+	reqs[2].Task.Name = "bad2"
+	for trial := 0; trial < 10; trial++ {
+		_, err := New(0).AnalyzeAll(reqs)
+		if err == nil {
+			t.Fatal("bad facts accepted")
+		}
+		if strings.Contains(err.Error(), "bad2") {
+			t.Fatalf("error %v names request 2, want the lowest failing request", err)
+		}
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 4950 {
+		t.Errorf("sum = %d, want 4950", sum.Load())
+	}
+	wantErr := errors.New("boom 17")
+	err := ForEach(8, 64, func(i int) error {
+		if i >= 17 {
+			return fmt.Errorf("boom %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != wantErr.Error() {
+		t.Errorf("err = %v, want %v (lowest failing index)", err, wantErr)
+	}
+	if err := ForEach(3, 0, func(int) error { return errors.New("no") }); err != nil {
+		t.Errorf("n=0 returned %v", err)
+	}
+}
+
+// TestConcurrentMemoHammer drives many concurrent requests through a
+// small key set; under -race this doubles as the engine's concurrency
+// check.
+func TestConcurrentMemoHammer(t *testing.T) {
+	e := New(8)
+	base := []core.Task{
+		workload.CRC(8, workload.Slot(0)),
+		workload.Fib(20, workload.Slot(1)),
+		workload.CountBits(4, workload.Slot(2)),
+	}
+	sys := testSys()
+	var reqs []Request
+	for i := 0; i < 24; i++ {
+		reqs = append(reqs, Request{Task: base[i%len(base)], Sys: sys})
+	}
+	as, err := e.AnalyzeAll(reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range as {
+		if a.WCET != as[i%len(base)].WCET {
+			t.Errorf("request %d: WCET %d != first occurrence %d", i, a.WCET, as[i%len(base)].WCET)
+		}
+	}
+	if _, misses := e.Stats(); misses != uint64(len(base)) {
+		hits, _ := e.Stats()
+		t.Errorf("stats = %d hits / %d misses, want misses = %d", hits, misses, len(base))
+	}
+	e.Reset()
+	if _, err := e.Analyze(base[0], sys); err != nil {
+		t.Fatal(err)
+	}
+	if _, misses := e.Stats(); misses != uint64(len(base)+1) {
+		t.Errorf("Reset did not drop memo entries")
+	}
+}

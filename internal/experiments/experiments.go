@@ -12,6 +12,7 @@ import (
 	"paratime/internal/arbiter"
 	"paratime/internal/cache"
 	"paratime/internal/core"
+	"paratime/internal/engine"
 	"paratime/internal/interfere"
 	"paratime/internal/memctrl"
 	"paratime/internal/partition"
@@ -71,15 +72,22 @@ func Exp01SoloWCET() (*Result, error) {
 	t := report.New("E1: solo static WCET vs simulation (private caches)",
 		"task", "WCET", "sim cycles", "ratio", "classes")
 	worst := 0.0
-	for _, task := range workload.Suite() {
-		a, err := core.Analyze(task, sys)
-		if err != nil {
-			return nil, err
-		}
-		res, err := sim.Run(simFor(sys, mem, nil, false, task), 200_000_000)
-		if err != nil {
-			return nil, err
-		}
+	tasks := workload.Suite()
+	as, err := analyzeAll(engine.Requests(tasks, sys))
+	if err != nil {
+		return nil, err
+	}
+	sims := make([]*sim.Result, len(tasks))
+	err = engine.ForEach(0, len(tasks), func(i int) error {
+		res, err := sim.Run(simFor(sys, mem, nil, false, tasks[i]), 200_000_000)
+		sims[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, task := range tasks {
+		a, res := as[i], sims[i]
 		if a.WCET < res.Cycles(0) {
 			return nil, fmt.Errorf("e1: UNSOUND %s: %d < %d", task.Name, a.WCET, res.Cycles(0))
 		}
@@ -186,18 +194,6 @@ func Exp03Measurement() (*Result, error) {
 		"actual":         float64(res.Cycles(0)),
 		"underestimated": boolMetric(res.Cycles(0) > observedMax),
 	}}, nil
-}
-
-func prepareAll(tasks []core.Task, sys core.SystemConfig) ([]*core.Analysis, error) {
-	var as []*core.Analysis
-	for _, t := range tasks {
-		a, err := core.Prepare(t, sys)
-		if err != nil {
-			return nil, err
-		}
-		as = append(as, a)
-	}
-	return as, nil
 }
 
 // Exp04YanZhang (§4.1): direct-mapped shared-L2 joint analysis is safe
@@ -450,22 +446,22 @@ loop:   ld   r4, 0(r3)
         .word 2
 .data 0x8800
         .word 3`)}
+	// Both halves of the comparison batch through the engine: one request
+	// per (task, partitioned geometry).
+	sc, sb := sys, sys
+	sc.Mem.L2, sb.Mem.L2 = &col, &bank
+	tasks := append(workload.Suite()[:5], stress)
+	var reqs []engine.Request
+	for _, task := range tasks {
+		reqs = append(reqs, engine.Request{Task: task, Sys: sc}, engine.Request{Task: task, Sys: sb})
+	}
+	as, err := analyzeAll(reqs)
+	if err != nil {
+		return nil, err
+	}
 	wins := 0
-	for _, task := range append(workload.Suite()[:5], stress) {
-		sc := sys
-		c := col
-		sc.Mem.L2 = &c
-		ac, err := core.Analyze(task, sc)
-		if err != nil {
-			return nil, err
-		}
-		sb := sys
-		bcfg := bank
-		sb.Mem.L2 = &bcfg
-		ab, err := core.Analyze(task, sb)
-		if err != nil {
-			return nil, err
-		}
+	for i, task := range tasks {
+		ac, ab := as[2*i], as[2*i+1]
 		if ab.WCET <= ac.WCET {
 			wins++
 		}
@@ -522,31 +518,45 @@ func Exp12RoundRobin() (*Result, error) {
 		workload.MemCopy(32, workload.Slot(6)),
 		workload.CRC(8, workload.Slot(7)),
 	}
+	// The victim is priced once per core count under the same cache
+	// geometry: four requests, one memoized Prepare (only the bus bound
+	// differs), and the heavy multicore simulations fan out alongside.
+	ns := []int{1, 2, 4, 8}
+	buses := make([]*arbiter.RoundRobin, len(ns))
+	reqs := make([]engine.Request, len(ns))
+	for i, n := range ns {
+		buses[i] = arbiter.NewRoundRobin(n, lat)
+		reqs[i] = engine.Request{Task: names[0], Sys: withBus(sys, buses[i].Bound(0))}
+	}
+	as, err := analyzeAll(reqs)
+	if err != nil {
+		return nil, err
+	}
+	sims := make([]*sim.Result, len(ns))
+	err = engine.ForEach(0, len(ns), func(i int) error {
+		res, err := sim.Run(simFor(sys, mem, buses[i], false, names[:ns[i]]...), 500_000_000)
+		sims[i] = res
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	var lastWCET float64
-	for _, n := range []int{1, 2, 4, 8} {
-		bus := arbiter.NewRoundRobin(n, lat)
-		tasks := names[:n]
-		res, err := sim.Run(simFor(sys, mem, bus, false, tasks...), 500_000_000)
-		if err != nil {
-			return nil, err
-		}
+	for i, n := range ns {
+		res, a := sims[i], as[i]
 		var maxWait int64
 		for _, s := range res.Stats {
 			if s.BusWaitMax > maxWait {
 				maxWait = s.BusWaitMax
 			}
 		}
-		if maxWait > int64(bus.Bound(0)) {
-			return nil, fmt.Errorf("e12: wait %d exceeds bound %d", maxWait, bus.Bound(0))
-		}
-		a, err := core.Analyze(tasks[0], withBus(sys, bus.Bound(0)))
-		if err != nil {
-			return nil, err
+		if maxWait > int64(buses[i].Bound(0)) {
+			return nil, fmt.Errorf("e12: wait %d exceeds bound %d", maxWait, buses[i].Bound(0))
 		}
 		if a.WCET < res.Cycles(0) {
 			return nil, fmt.Errorf("e12: UNSOUND %d < %d at n=%d", a.WCET, res.Cycles(0), n)
 		}
-		t.Add(n, bus.Bound(0), maxWait, a.WCET, res.Cycles(0))
+		t.Add(n, buses[i].Bound(0), maxWait, a.WCET, res.Cycles(0))
 		lastWCET = float64(a.WCET)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"wcet_at_8": lastWCET}}, nil
@@ -569,16 +579,21 @@ func Exp13MBBA() (*Result, error) {
 	}
 	t := report.New("E13: MBBA weighted bounds vs uniform round robin",
 		"core (weight)", "rr bound", "mbba bound", "rr WCET", "mbba WCET")
+	// Each task is priced under both arbiters; the engine memoizes the
+	// prepared prefix per task, so the eight analyses cost four Prepares.
+	var reqs []engine.Request
+	for i, task := range tasks {
+		reqs = append(reqs,
+			engine.Request{Task: task, Sys: withBus(sys, rr.Bound(i))},
+			engine.Request{Task: task, Sys: withBus(sys, mbba.Bound(i))})
+	}
+	as, err := analyzeAll(reqs)
+	if err != nil {
+		return nil, err
+	}
 	var heavyGain float64
 	for i, task := range tasks {
-		ar, err := core.Analyze(task, withBus(sys, rr.Bound(i)))
-		if err != nil {
-			return nil, err
-		}
-		am, err := core.Analyze(task, withBus(sys, mbba.Bound(i)))
-		if err != nil {
-			return nil, err
-		}
+		ar, am := as[2*i], as[2*i+1]
 		if i == 0 {
 			heavyGain = float64(ar.WCET) / float64(am.WCET)
 		}
@@ -749,11 +764,13 @@ func Exp18IPETCross() (*Result, error) {
 	// Reuse the benchmarks: solve each with unit costs and verify the ILP
 	// reports integral optimal solutions with plausible sizes.
 	totalNodes := 0
-	for _, task := range workload.Suite() {
-		a, err := core.Analyze(task, defaultSys())
-		if err != nil {
-			return nil, err
-		}
+	tasks := workload.Suite()
+	as, err := analyzeAll(engine.Requests(tasks, defaultSys()))
+	if err != nil {
+		return nil, err
+	}
+	for i, task := range tasks {
+		a := as[i]
 		totalNodes += a.IPET.Nodes
 		t.Add(task.Name, fmt.Sprintf("WCET %d, ILP %d vars %d cons %d nodes",
 			a.WCET, a.IPET.Vars, a.IPET.Cons, a.IPET.Nodes))

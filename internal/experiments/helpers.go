@@ -6,6 +6,7 @@ import (
 	"paratime/internal/arbiter"
 	"paratime/internal/cfg"
 	"paratime/internal/core"
+	"paratime/internal/engine"
 	"paratime/internal/isa"
 	"paratime/internal/pipeline"
 	"paratime/internal/report"
@@ -14,6 +15,24 @@ import (
 
 // progT abbreviates the program type in experiment bodies.
 type progT = isa.Program
+
+// eng is the package-shared batch engine: every experiment's analysis
+// fan-out goes through one pool and one memo cache, so experiments that
+// revisit a (task, cache-geometry) pair — e.g. the suite under the
+// default system in E1 and E18, or one task under several bus bounds in
+// E12/E13 — reuse the prepared prefix.
+var eng = engine.New(0)
+
+// analyzeAll batches full analyses for every request through eng.
+func analyzeAll(reqs []engine.Request) ([]*core.Analysis, error) {
+	return eng.AnalyzeAll(reqs)
+}
+
+// prepareAll batches the analysis prefix for tasks sharing one system
+// configuration (the joint-analysis shape).
+func prepareAll(tasks []core.Task, sys core.SystemConfig) ([]*core.Analysis, error) {
+	return eng.PrepareAll(engine.Requests(tasks, sys))
+}
 
 func boolMetric(b bool) float64 {
 	if b {

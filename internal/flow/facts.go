@@ -2,6 +2,8 @@ package flow
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"paratime/internal/cfg"
 )
@@ -57,6 +59,42 @@ func (f *Facts) Bound(label string, n int) *Facts {
 func (f *Facts) Constrain(c Constraint) *Facts {
 	f.Constraints = append(f.Constraints, c)
 	return f
+}
+
+// Fingerprint returns a stable content key over the annotation set, used
+// by the batch engine to memoize prepared analyses. Loop bounds are
+// serialized by label; extra constraints are serialized structurally
+// (coefficients, relation, RHS, and the IDs of the blocks and edges they
+// reference), which distinguishes any two constraint sets over the same
+// program. A nil receiver keys identically to an empty set.
+func (f *Facts) Fingerprint() string {
+	if f == nil {
+		return ""
+	}
+	var sb strings.Builder
+	labels := make([]string, 0, len(f.bounds))
+	for l := range f.bounds {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(&sb, "b:%s=%d;", l, f.bounds[l])
+	}
+	for _, c := range f.Constraints {
+		fmt.Fprintf(&sb, "c:%s,%d,%d", c.Name, c.Rel, c.RHS)
+		for _, t := range c.Terms {
+			switch {
+			case t.Edge != nil:
+				fmt.Fprintf(&sb, "|%d*e%d", t.Coef, t.Edge.ID)
+			case t.Block != nil:
+				fmt.Fprintf(&sb, "|%d*b%d", t.Coef, t.Block.ID)
+			default:
+				fmt.Fprintf(&sb, "|%d", t.Coef)
+			}
+		}
+		sb.WriteByte(';')
+	}
+	return sb.String()
 }
 
 // Apply writes annotated bounds into the graph's loops. A label matches

@@ -354,3 +354,44 @@ func TestALUSemanticsQuick(t *testing.T) {
 		}
 	}
 }
+
+func TestFingerprint(t *testing.T) {
+	asm := func(src string) *Program { return MustAssemble("fp", src) }
+	base := `
+        li   r1, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`
+	if asm(base).Fingerprint() != asm(base).Fingerprint() {
+		t.Error("identical programs fingerprint differently")
+	}
+	// Identical instruction stream (same branch targets), an extra label
+	// on different instructions: flow annotations bind bounds by label,
+	// so these must not share a memo key.
+	markFirst := `
+x:      li   r1, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`
+	markLast := `
+        li   r1, 10
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+x:      halt`
+	if asm(markFirst).Fingerprint() == asm(markLast).Fingerprint() {
+		t.Error("label placement not part of the fingerprint")
+	}
+	changed := `
+        li   r1, 11
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`
+	if asm(base).Fingerprint() == asm(changed).Fingerprint() {
+		t.Error("instruction change not part of the fingerprint")
+	}
+	rebased := asm(base)
+	rebased.Rebase(0x2000)
+	if asm(base).Fingerprint() == rebased.Fingerprint() {
+		t.Error("base address not part of the fingerprint")
+	}
+}

@@ -1,6 +1,8 @@
 package isa
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
 	"strings"
@@ -61,6 +63,38 @@ func (p *Program) Index(a uint32) int {
 
 // End returns the first byte address past the text segment.
 func (p *Program) End() uint32 { return p.Base + uint32(len(p.Insts))*InstBytes }
+
+// Fingerprint returns a collision-resistant digest of the program's
+// analysis-relevant content: text base, instruction stream, code labels
+// (flow annotations bind loop bounds by label, so label placement
+// changes the analysis) and data image. Programs with equal
+// fingerprints yield identical analysis artefacts, which lets the
+// batch engine memoize prepared analyses by content instead of pointer
+// identity.
+func (p *Program) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "base:%d;", p.Base)
+	for _, in := range p.Insts {
+		fmt.Fprintf(h, "i:%d,%d,%d,%d,%d,%d;", in.Op, in.Rd, in.Rs1, in.Rs2, in.Imm, in.Target)
+	}
+	labels := make([]string, 0, len(p.Labels))
+	for l := range p.Labels {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		fmt.Fprintf(h, "l:%s=%d;", l, p.Labels[l])
+	}
+	addrs := make([]uint32, 0, len(p.Data))
+	for a := range p.Data {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	for _, a := range addrs {
+		fmt.Fprintf(h, "d:%d=%d;", a, p.Data[a])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
 
 // LabelAt returns the (sorted, "/"-joined) labels attached to instruction
 // index i, or "".

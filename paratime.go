@@ -16,6 +16,11 @@
 // A deterministic cycle-accurate multicore simulator validates every
 // bound.
 //
+// Batches of independent analyses run concurrently through the engine
+// (NewEngine, AnalyzeAll): requests fan out across a bounded worker
+// pool and the expensive analysis prefix is memoized by content, with
+// results bit-identical to the sequential path.
+//
 // Quick start:
 //
 //	prog := paratime.MustAssemble("demo", `
@@ -30,10 +35,12 @@ package paratime
 
 import (
 	"fmt"
+	"sync"
 
 	"paratime/internal/arbiter"
 	"paratime/internal/cache"
 	"paratime/internal/core"
+	"paratime/internal/engine"
 	"paratime/internal/flow"
 	"paratime/internal/interfere"
 	"paratime/internal/isa"
@@ -93,6 +100,38 @@ func Analyze(task Task, sys SystemConfig) (*Analysis, error) { return core.Analy
 // Prepare runs the analysis up to cache classification, for callers that
 // apply interference or locking adjustments before pricing.
 func Prepare(task Task, sys SystemConfig) (*Analysis, error) { return core.Prepare(task, sys) }
+
+// Batch analysis.
+
+// Engine is a concurrent batch analyzer: it fans independent analysis
+// requests across a bounded worker pool and memoizes the expensive
+// prepare prefix (CFG, flow bounds, cache classification) by content, so
+// sweeps over bus arbiters or repeated experiment configurations reuse
+// prepared artefacts. Results are bit-identical to the sequential path.
+type Engine = engine.Engine
+
+// AnalysisRequest is one (Task, SystemConfig) unit of batch analysis.
+type AnalysisRequest = engine.Request
+
+// NewEngine returns a batch analyzer running at most workers concurrent
+// analyses; workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine { return engine.New(workers) }
+
+// defaultEngine backs the package-level batch entry points, so repeated
+// facade calls share one memo cache.
+var defaultEngine = sync.OnceValue(func() *Engine { return engine.New(0) })
+
+// DefaultEngine returns the shared engine behind AnalyzeAll and
+// AnalyzeJoint, for callers that want its memo statistics or to bound
+// memory with Reset between unrelated sweeps (the memo otherwise grows
+// with the number of distinct analyzed configurations).
+func DefaultEngine() *Engine { return defaultEngine() }
+
+// AnalyzeAll analyzes every task under one system configuration on the
+// shared default engine, returning analyses in task order.
+func AnalyzeAll(tasks []Task, sys SystemConfig) ([]*Analysis, error) {
+	return defaultEngine().AnalyzeAll(engine.Requests(tasks, sys))
+}
 
 // Arbiters.
 
@@ -160,17 +199,10 @@ const (
 )
 
 // AnalyzeJoint computes solo and conflict-aware WCETs for co-scheduled
-// tasks sharing the system's L2.
+// tasks sharing the system's L2. The per-task preparation runs on the
+// shared default engine's worker pool.
 func AnalyzeJoint(tasks []Task, sys SystemConfig, model ConflictModel) (*interfere.JointResult, error) {
-	var as []*core.Analysis
-	for _, t := range tasks {
-		a, err := core.Prepare(t, sys)
-		if err != nil {
-			return nil, err
-		}
-		as = append(as, a)
-	}
-	return interfere.AnalyzeJoint(as, model)
+	return defaultEngine().AnalyzeJoint(tasks, sys, model)
 }
 
 // Workload.
