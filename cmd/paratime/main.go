@@ -1,6 +1,6 @@
 // Command paratime is the toolkit's CLI: assemble programs, inspect
-// CFGs, compute WCETs, simulate, and run the survey-reproduction
-// experiments.
+// CFGs, compute WCETs, simulate, run declarative analysis scenarios,
+// and run the survey-reproduction experiments.
 //
 // Usage:
 //
@@ -9,13 +9,23 @@
 //	paratime wcet <file.s>          static WCET analysis (default system)
 //	paratime sim  <file.s>          cycle-accurate solo simulation
 //	paratime suite                  analyze + simulate the benchmark suite
+//	paratime run  [-json] <file...|->  run scenario file(s) (see export)
+//	paratime export <exp-id>|all    dump experiment(s) as scenario JSON
 //	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
 //	paratime list                   list experiments
+//
+// Scenario files carry schema version 1 ("spec": 1); `paratime export
+// all | paratime run -` replays every exportable experiment regime
+// through the Scenario API. An interrupt (Ctrl-C) stops dispatching
+// further batch work promptly; items already in flight finish first.
 package main
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
 
@@ -24,16 +34,19 @@ import (
 	"paratime/internal/engine"
 	"paratime/internal/experiments"
 	"paratime/internal/flow"
+	"paratime/internal/spec"
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if err := run(ctx, os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "paratime:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string) error {
+func run(ctx context.Context, args []string) error {
 	if len(args) == 0 {
 		return usage()
 	}
@@ -88,12 +101,13 @@ func run(args []string) error {
 		// task order, byte-identical to the sequential loop.
 		sys := paratime.DefaultSystem()
 		tasks := paratime.Suite()
-		as, err := paratime.AnalyzeAll(tasks, sys)
+		eng := paratime.DefaultEngine()
+		as, err := eng.AnalyzeAll(ctx, engine.Requests(tasks, sys))
 		if err != nil {
 			return err
 		}
 		sims := make([]*paratime.SimResult, len(tasks))
-		err = engine.ForEach(0, len(tasks), func(i int) error {
+		err = engine.ForEach(ctx, 0, len(tasks), func(i int) error {
 			s := paratime.BuildSim(sys, paratime.DefaultMemConfig(), nil, false, tasks[i])
 			res, err := paratime.Simulate(s, 1_000_000_000)
 			if err != nil {
@@ -110,37 +124,132 @@ func run(args []string) error {
 				task.Name, as[i].WCET, sims[i].Cycles(0), as[i].ClassSummary())
 		}
 		return nil
-	case "exp":
+	case "run":
+		return runScenarios(ctx, args[1:])
+	case "export":
 		if len(args) < 2 {
-			return fmt.Errorf("exp wants an experiment id or 'all'")
+			return fmt.Errorf("export wants an experiment id or 'all' (exportable: %s)",
+				strings.Join(experiments.ExportableIDs(), " "))
 		}
-		ids := args[1:]
+		var (
+			scs []*spec.Scenario
+			err error
+		)
 		if args[1] == "all" {
-			ids = experiments.IDs
+			scs, err = experiments.ExportAll()
+		} else {
+			scs, err = experiments.Export(strings.ToLower(args[1]))
 		}
-		runners := make([]experiments.Runner, len(ids))
-		for i, id := range ids {
-			runner, ok := experiments.All[strings.ToLower(id)]
-			if !ok {
-				return fmt.Errorf("unknown experiment %q (try 'paratime list')", id)
-			}
-			runners[i] = runner
+		if err != nil {
+			return err
 		}
-		// Experiments are independent; run them concurrently and print in
-		// id order (up to the first failure, as the sequential loop did).
-		results := make([]*experiments.Result, len(ids))
-		runErr := engine.ForEach(0, len(ids), func(i int) error {
-			res, err := runners[i]()
+		out, err := spec.EncodeAll(scs)
+		if err != nil {
+			return err
+		}
+		_, err = os.Stdout.Write(out)
+		return err
+	case "exp":
+		return runExperiments(ctx, args[1:])
+	case "list":
+		for _, id := range experiments.IDs {
+			fmt.Println(id)
+		}
+		return nil
+	default:
+		return usage()
+	}
+}
+
+// runScenarios decodes scenario file(s) (or stdin with "-") and runs
+// every scenario in them through the Scenario API.
+func runScenarios(ctx context.Context, args []string) error {
+	asJSON := false
+	if len(args) > 0 && args[0] == "-json" {
+		asJSON = true
+		args = args[1:]
+	}
+	if len(args) < 1 {
+		return fmt.Errorf("run wants scenario file(s) (or '-' for stdin)")
+	}
+	var scs []*spec.Scenario
+	for _, path := range args {
+		var (
+			data []byte
+			err  error
+		)
+		if path == "-" {
+			data, err = io.ReadAll(os.Stdin)
+		} else {
+			data, err = os.ReadFile(path)
+		}
+		if err != nil {
+			return err
+		}
+		decoded, err := spec.DecodeAll(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		scs = append(scs, decoded...)
+	}
+	for i, sc := range scs {
+		rep, err := paratime.Run(ctx, sc)
+		if err != nil {
+			return fmt.Errorf("%s: %w", sc.String(), err)
+		}
+		if asJSON {
+			out, err := rep.Encode()
 			if err != nil {
-				return fmt.Errorf("%s: %w", ids[i], err)
+				return err
 			}
-			results[i] = res
-			return nil
-		})
-		for _, res := range results {
-			if res == nil {
-				return runErr
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
 			}
+			continue
+		}
+		rep.Fprint(os.Stdout)
+		if i < len(scs)-1 {
+			fmt.Println()
+		}
+	}
+	return nil
+}
+
+// runExperiments runs the requested experiments concurrently and prints
+// one status block per id: the result table, or FAILED with the error,
+// or skipped (not dispatched after an earlier failure) — so a mid-batch
+// failure can no longer silently swallow which ids never ran.
+func runExperiments(ctx context.Context, args []string) error {
+	if len(args) < 1 {
+		return fmt.Errorf("exp wants an experiment id or 'all'")
+	}
+	ids := args
+	if args[0] == "all" {
+		ids = experiments.IDs
+	}
+	runners := make([]experiments.Runner, len(ids))
+	for i, id := range ids {
+		runner, ok := experiments.All[strings.ToLower(id)]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (try 'paratime list')", id)
+		}
+		runners[i] = runner
+	}
+	results := make([]*experiments.Result, len(ids))
+	errs := make([]error, len(ids))
+	runErr := engine.ForEach(ctx, 0, len(ids), func(i int) error {
+		res, err := runners[i]()
+		if err != nil {
+			errs[i] = err
+			return fmt.Errorf("%s: %w", ids[i], err)
+		}
+		results[i] = res
+		return nil
+	})
+	nFailed, nSkipped := 0, 0
+	for i, res := range results {
+		switch {
+		case res != nil:
 			res.Table.Fprint(os.Stdout)
 			keys := make([]string, 0, len(res.Metrics))
 			for k := range res.Metrics {
@@ -151,16 +260,18 @@ func run(args []string) error {
 				fmt.Printf("   %s = %g\n", k, res.Metrics[k])
 			}
 			fmt.Println()
+		case errs[i] != nil:
+			nFailed++
+			fmt.Printf("%s: FAILED: %v\n\n", ids[i], errs[i])
+		default:
+			nSkipped++
+			fmt.Printf("%s: skipped (not dispatched after earlier failure or cancellation)\n\n", ids[i])
 		}
-		return nil
-	case "list":
-		for _, id := range experiments.IDs {
-			fmt.Println(id)
-		}
-		return nil
-	default:
-		return usage()
 	}
+	if runErr != nil {
+		return fmt.Errorf("%d experiment(s) failed, %d skipped: %w", nFailed, nSkipped, runErr)
+	}
+	return nil
 }
 
 func withProg(args []string, f func(*paratime.Program) error) error {
@@ -179,5 +290,5 @@ func withProg(args []string, f func(*paratime.Program) error) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | exp <id>|all | list")
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | list")
 }

@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"paratime/internal/spec"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// capture runs f with os.Stdout redirected and returns what it printed.
+func capture(t *testing.T, f func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	ferr := f()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if ferr != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", ferr, out)
+	}
+	return out
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s (run with -update to regenerate):\n--- got ---\n%s\n--- want ---\n%s",
+			path, got, want)
+	}
+}
+
+// TestRunGolden: `paratime run` output on the checked-in scenario file
+// is pinned byte-for-byte — the WCET numbers are part of the contract.
+func TestRunGolden(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", filepath.Join("testdata", "quickstart.json")})
+	})
+	checkGolden(t, "quickstart.golden", out)
+}
+
+// TestRunGoldenJSON pins the -json report form.
+func TestRunGoldenJSON(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", "-json", filepath.Join("testdata", "quickstart.json")})
+	})
+	checkGolden(t, "quickstart.json.golden", out)
+}
+
+// TestExportRunPipeline: every exported scenario decodes and runs — the
+// in-process version of the CI `export all | run -` smoke job (on a
+// fast subset; CI runs the full set).
+func TestExportRunPipeline(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"export", "e8"})
+	})
+	scs, err := spec.DecodeAll([]byte(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) != 4 {
+		t.Fatalf("e8 exported %d scenarios, want 4", len(scs))
+	}
+	tmp := filepath.Join(t.TempDir(), "e8.json")
+	if err := os.WriteFile(tmp, []byte(out), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	res := capture(t, func() error {
+		return run(context.Background(), []string{"run", tmp})
+	})
+	for _, sc := range scs {
+		if !strings.Contains(res, sc.Name) {
+			t.Errorf("run output lacks scenario %q", sc.Name)
+		}
+	}
+}
+
+// TestExpUnknownID: the exp verb still rejects unknown ids up front.
+func TestExpUnknownID(t *testing.T) {
+	if err := run(context.Background(), []string{"exp", "e99"}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

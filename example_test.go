@@ -1,6 +1,7 @@
 package paratime_test
 
 import (
+	"context"
 	"fmt"
 
 	"paratime"
@@ -46,38 +47,104 @@ func ExampleSimulate() {
 	// Output: sound: true
 }
 
-// ExampleAnalyzeAll batches the whole benchmark suite through the
-// concurrent analysis engine; results come back in task order and are
-// bit-identical to analyzing each task alone.
-func ExampleAnalyzeAll() {
-	tasks := paratime.Suite()
-	as, err := paratime.AnalyzeAll(tasks, paratime.DefaultSystem())
+// ExampleRun executes a declarative analysis scenario: the whole
+// request — tasks, system, sharing regime — is one serializable value,
+// and the batch engine fans the work out under a context.
+func ExampleRun() {
+	sc := &paratime.Scenario{
+		Spec: paratime.SpecVersion,
+		Name: "quickstart",
+		Tasks: []paratime.ScenarioTask{
+			{Name: "demo", Source: demoSrc},
+		},
+		System: paratime.DefaultScenarioSystem(),
+		Mode:   paratime.ScenarioMode{Kind: paratime.ModeSolo},
+	}
+	rep, err := paratime.Run(context.Background(), sc)
 	if err != nil {
 		panic(err)
 	}
-	solo, err := paratime.Analyze(tasks[0], paratime.DefaultSystem())
-	if err != nil {
-		panic(err)
-	}
-	fmt.Println("tasks analyzed:", len(as))
-	fmt.Println("matches solo analysis:", as[0].WCET == solo.WCET)
-	// Output:
-	// tasks analyzed: 7
-	// matches solo analysis: true
+	fmt.Println("WCET", rep.Tasks[0].WCET)
+	// Output: WCET 90
 }
 
-// ExampleAnalyzeJoint computes conflict-aware WCETs for tasks sharing
-// the L2 (Li et al.'s age-shift model): co-runner conflicts can only
-// inflate a task's bound.
-func ExampleAnalyzeJoint() {
-	res, err := paratime.AnalyzeJoint(paratime.Suite()[:2], paratime.DefaultSystem(), paratime.AgeShift)
+// ExampleRun_joint runs a joint shared-L2 scenario (Li et al.'s
+// age-shift model): co-runner conflicts can only inflate a task's
+// bound, and the report carries both the solo baseline and the delta.
+func ExampleRun_joint() {
+	tasks := paratime.Suite()[:2]
+	specTasks := make([]paratime.ScenarioTask, len(tasks))
+	for i, task := range tasks {
+		st, err := paratime.ScenarioTaskOf(task)
+		if err != nil {
+			panic(err)
+		}
+		specTasks[i] = st
+	}
+	sc := &paratime.Scenario{
+		Spec:   paratime.SpecVersion,
+		Name:   "joint",
+		Tasks:  specTasks,
+		System: paratime.DefaultScenarioSystem(),
+		Mode:   paratime.ScenarioMode{Kind: paratime.ModeJoint, Model: "ageshift"},
+	}
+	rep, err := paratime.Run(context.Background(), sc)
 	if err != nil {
 		panic(err)
 	}
-	for i, name := range res.Names {
-		fmt.Printf("%s: joint >= solo: %v\n", name, res.JointWCET[i] >= res.SoloWCET[i])
+	for _, tr := range rep.Tasks {
+		fmt.Printf("%s: joint >= solo: %v\n", tr.Name, tr.WCET >= tr.SoloWCET)
 	}
 	// Output:
 	// fib24: joint >= solo: true
 	// matmult4: joint >= solo: true
+}
+
+// ExampleNewSystem assembles a system configuration with functional
+// options instead of hand-mutating SystemConfig fields, then feeds it
+// into a scenario.
+func ExampleNewSystem() {
+	sys := paratime.NewSystem(
+		paratime.WithL1I(paratime.CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}),
+		paratime.WithSharedL2(paratime.CacheConfig{Sets: 16, Ways: 2, LineBytes: 32, HitLatency: 4}),
+		paratime.WithMemController(paratime.DefaultMemConfig()),
+	)
+	sc := &paratime.Scenario{
+		Spec:   paratime.SpecVersion,
+		Name:   "custom-system",
+		Tasks:  []paratime.ScenarioTask{{Name: "demo", Source: demoSrc}},
+		System: paratime.ScenarioSystemOf(sys),
+		Mode:   paratime.ScenarioMode{Kind: paratime.ModeSolo},
+	}
+	rep, err := paratime.Run(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("WCET on the small system:", rep.Tasks[0].WCET > 0)
+	// Output: WCET on the small system: true
+}
+
+// ExampleDecodeScenario shows the serialized face of the same API: a
+// JSON scenario file decodes (with strict validation) and runs.
+func ExampleDecodeScenario() {
+	sc, err := paratime.DecodeScenario([]byte(`{
+	  "spec": 1,
+	  "name": "from-json",
+	  "tasks": [{"name": "demo", "source": "        li r1, 10\nloop:   addi r1, r1, -1\n        bne r1, r0, loop\n        halt"}],
+	  "system": {
+	    "l1i": {"sets": 16, "ways": 2, "lineBytes": 16, "hitLatency": 1},
+	    "l1d": {"sets": 16, "ways": 2, "lineBytes": 16, "hitLatency": 1},
+	    "l2":  {"sets": 32, "ways": 4, "lineBytes": 32, "hitLatency": 4}
+	  },
+	  "mode": {"kind": "solo"}
+	}`))
+	if err != nil {
+		panic(err)
+	}
+	rep, err := paratime.Run(context.Background(), sc)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("WCET", rep.Tasks[0].WCET)
+	// Output: WCET 90
 }

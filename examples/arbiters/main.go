@@ -1,53 +1,64 @@
 // Arbiter comparison: the survey's §5 bandwidth-sharing schemes — round
-// robin (D = N·L−1), TDMA, and MBBA-style weighted arbitration — with
-// their analytical bounds validated against simulated worst waits.
+// robin (D = N·L−1), TDMA, and MBBA-style weighted arbitration — each
+// expressed as one bus-mode Scenario whose analytical per-core bounds
+// are validated against simulated worst waits in the same run.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"paratime"
-	"paratime/internal/arbiter"
 	"paratime/internal/workload"
 )
 
 func main() {
-	sys := paratime.DefaultSystem()
-	mem := paratime.DefaultMemConfig()
-	lat := paratime.TransactionLatency(sys, mem)
+	ctx := context.Background()
 	tasks := []paratime.Task{
 		workload.MemCopy(48, workload.Slot(0)),
 		workload.CRC(12, workload.Slot(1)),
 		workload.FIR(12, 4, workload.Slot(2)),
 		workload.CountBits(6, workload.Slot(3)),
 	}
-	buses := []paratime.Arbiter{
-		paratime.NewRoundRobinBus(len(tasks), lat),
-		paratime.NewTDMABus([]arbiter.Slot{
-			{Owner: 0, Len: lat}, {Owner: 1, Len: lat},
-			{Owner: 2, Len: lat}, {Owner: 3, Len: lat}}, lat),
-		paratime.NewMultiBandwidthBus([]int{4, 2, 1, 1}, lat),
-	}
-	for _, bus := range buses {
-		s := paratime.BuildSim(sys, mem, bus, false, tasks...)
-		res, err := paratime.Simulate(s, 1_000_000_000)
+	specTasks := make([]paratime.ScenarioTask, len(tasks))
+	for i, task := range tasks {
+		st, err := paratime.ScenarioTaskOf(task)
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%s\n", bus.Name())
-		for i, task := range tasks {
-			a, err := paratime.Analyze(task, paratime.WithBusDelay(sys, bus.Bound(i)))
-			if err != nil {
-				log.Fatal(err)
-			}
+		specTasks[i] = st
+	}
+	// Slot length 0 in each bus spec derives the full memory round trip
+	// (L2 hit + worst-case memory) automatically; the TDMA table uses an
+	// explicit latency so its slot lengths are self-describing.
+	lat := 30
+	buses := []paratime.ScenarioBus{
+		{Policy: "roundrobin"},
+		{Policy: "tdma", Latency: lat, Slots: []paratime.ScenarioSlot{
+			{Owner: 0, Len: lat}, {Owner: 1, Len: lat}, {Owner: 2, Len: lat}, {Owner: 3, Len: lat}}},
+		{Policy: "mbba", Weights: []int{4, 2, 1, 1}},
+	}
+	for _, bus := range buses {
+		bus := bus
+		rep, err := paratime.Run(ctx, &paratime.Scenario{
+			Spec: paratime.SpecVersion, Name: "arbiters-" + bus.Policy, Tasks: specTasks,
+			System: paratime.DefaultScenarioSystem(),
+			Mode:   paratime.ScenarioMode{Kind: paratime.ModeBus, Bus: &bus},
+			Sim:    &paratime.ScenarioSim{MaxCycles: 1_000_000_000},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(bus.Policy)
+		for i, tr := range rep.Tasks {
+			sr := rep.Sim[i]
 			ok := "bound holds"
-			if res.Stats[i].BusWaitMax > int64(bus.Bound(i)) || a.WCET < res.Cycles(i) {
+			if sr.BusWaitMax > int64(tr.BusBound) || !sr.Sound {
 				ok = "VIOLATED"
 			}
 			fmt.Printf("  core %d %-10s bound %4d  sim max wait %4d  WCET %8d  sim %8d  %s\n",
-				i, task.Name, bus.Bound(i), res.Stats[i].BusWaitMax,
-				a.WCET, res.Cycles(i), ok)
+				i, tr.Name, tr.BusBound, sr.BusWaitMax, tr.WCET, sr.Cycles, ok)
 		}
 		fmt.Println()
 	}

@@ -1,49 +1,62 @@
 // Shared-cache study: the survey's §4 on one screen. Four tasks share an
 // L2; compare the solo (unsafe assumption), joint (Yan & Zhang and Li et
-// al.), and partitioned (isolation) WCETs for the same workload.
+// al.), and partitioned (isolation) WCETs for the same workload — each
+// regime expressed as one declarative Scenario run through the unified
+// entry point.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"paratime"
-	"paratime/internal/partition"
 	"paratime/internal/workload"
 )
 
 func main() {
-	sys := paratime.DefaultSystem()
+	ctx := context.Background()
 	// Tiny L1I + small shared L2: loop bodies live in the L2, where
 	// co-runners can reach them — the configuration §4 worries about.
-	sys.Mem.L1I = paratime.CacheConfig{Name: "L1I", Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}
-	l2 := paratime.CacheConfig{Name: "L2", Sets: 16, Ways: 2, LineBytes: 32, HitLatency: 4}
-	sys.Mem.L2 = &l2
+	sys := paratime.NewSystem(
+		paratime.WithL1I(paratime.CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}),
+		paratime.WithSharedL2(paratime.CacheConfig{Sets: 16, Ways: 2, LineBytes: 32, HitLatency: 4}),
+	)
 	tasks := []paratime.Task{
 		bigLoop(),
 		workload.CRC(12, workload.Slot(1)),
 		workload.FIR(12, 4, workload.Slot(2)),
 		workload.CountBits(6, workload.Slot(3)),
 	}
+	specTasks := make([]paratime.ScenarioTask, len(tasks))
+	for i, task := range tasks {
+		st, err := paratime.ScenarioTaskOf(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specTasks[i] = st
+	}
+	scenario := func(name string, mode paratime.ScenarioMode) *paratime.Report {
+		rep, err := paratime.Run(ctx, &paratime.Scenario{
+			Spec: paratime.SpecVersion, Name: name, Tasks: specTasks,
+			System: paratime.ScenarioSystemOf(sys), Mode: mode,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return rep
+	}
 
-	dm, err := paratime.AnalyzeJoint(tasks, sys, paratime.DirectMapped)
-	if err != nil {
-		log.Fatal(err)
-	}
-	li, err := paratime.AnalyzeJoint(tasks, sys, paratime.AgeShift)
-	if err != nil {
-		log.Fatal(err)
-	}
-	part, err := partition.WCETs(tasks, sys, partition.CoreBased, []int{0, 0, 1, 1}, 2)
-	if err != nil {
-		log.Fatal(err)
-	}
+	dm := scenario("joint-yz", paratime.ScenarioMode{Kind: paratime.ModeJoint, Model: "directmapped"})
+	li := scenario("joint-li", paratime.ScenarioMode{Kind: paratime.ModeJoint, Model: "ageshift"})
+	part := scenario("partitioned", paratime.ScenarioMode{Kind: paratime.ModePartition,
+		Partition: &paratime.ScenarioPartition{Scheme: "core", Cores: 2, Assign: []int{0, 0, 1, 1}}})
 
 	fmt.Printf("%-12s %10s %14s %14s %14s\n",
 		"task", "solo", "joint(YZ)", "joint(Li)", "partitioned")
-	for i, name := range dm.Names {
+	for i, tr := range dm.Tasks {
 		fmt.Printf("%-12s %10d %14d %14d %14d\n",
-			name, dm.SoloWCET[i], dm.JointWCET[i], li.JointWCET[i], part[i])
+			tr.Name, tr.SoloWCET, tr.WCET, li.Tasks[i].WCET, part.Tasks[i].WCET)
 	}
 	fmt.Println("\nsolo is unsafe under sharing; joint bounds are safe but inflate;")
 	fmt.Println("partitioning gives safe per-task bounds independent of co-runners.")

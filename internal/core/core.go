@@ -20,6 +20,7 @@ import (
 	"paratime/internal/flow"
 	"paratime/internal/ipet"
 	"paratime/internal/isa"
+	"paratime/internal/memctrl"
 	"paratime/internal/pipeline"
 )
 
@@ -45,8 +46,11 @@ type SystemConfig struct {
 	Mem      MemSystem
 }
 
-// DefaultSystem returns a small embedded configuration: 512 B L1I/L1D,
-// 4 KiB unified L2, 20-cycle memory.
+// DefaultSystem returns the canonical small embedded configuration:
+// 512 B L1I/L1D, 4 KiB unified L2, and a MemLatency equal to the default
+// analyzable memory controller's worst-case access bound. It is the one
+// source of the default system for the facade, the experiments, and the
+// Scenario decoder.
 func DefaultSystem() SystemConfig {
 	l2 := cache.Config{Name: "L2", Sets: 32, Ways: 4, LineBytes: 32, HitLatency: 4, MissPenalty: 20}
 	return SystemConfig{
@@ -56,7 +60,7 @@ func DefaultSystem() SystemConfig {
 			L1D:        cache.Config{Name: "L1D", Sets: 16, Ways: 2, LineBytes: 16, HitLatency: 1, MissPenalty: 4},
 			L2:         &l2,
 			BusDelay:   0,
-			MemLatency: 20,
+			MemLatency: memctrl.DefaultConfig().Bound(),
 		},
 	}
 }

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"testing"
 
 	"paratime/internal/core"
@@ -31,7 +32,7 @@ func BenchmarkSuitePooled(b *testing.B) {
 	reqs := Requests(workload.Suite(), sys)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := New(0).AnalyzeAll(reqs); err != nil {
+		if _, err := New(0).AnalyzeAll(context.Background(), reqs); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -45,13 +46,13 @@ func BenchmarkSuitePooledWarm(b *testing.B) {
 	sys := testSys()
 	reqs := Requests(workload.Suite(), sys)
 	e := New(0)
-	if _, err := e.AnalyzeAll(reqs); err != nil {
+	if _, err := e.AnalyzeAll(context.Background(), reqs); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := e.AnalyzeAll(reqs); err != nil {
+		if _, err := e.AnalyzeAll(context.Background(), reqs); err != nil {
 			b.Fatal(err)
 		}
 	}

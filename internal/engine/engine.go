@@ -14,6 +14,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -121,10 +122,13 @@ func (e *Engine) prepare(task core.Task, sys core.SystemConfig) (*core.Analysis,
 // the reported failure does not depend on scheduling. After a failure no
 // further indices are dispatched (in-flight work completes); because
 // dispatch is in index order, every index below the first failure still
-// runs, keeping the returned error deterministic. It is the generic
-// fan-out primitive under the batch entry points, exported for callers
-// (the CLI's experiment runner) whose work items are not analyses.
-func ForEach(workers, n int, f func(i int) error) error {
+// runs, keeping the returned error deterministic. Cancelling ctx also
+// stops dispatch: once every in-flight call returns, ForEach reports
+// ctx.Err() unless some dispatched index failed first (task errors win,
+// keeping the report deterministic). It is the generic fan-out primitive
+// under the batch entry points, exported for callers (the CLI's
+// experiment runner) whose work items are not analyses.
+func ForEach(ctx context.Context, workers, n int, f func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -132,7 +136,7 @@ func ForEach(workers, n int, f func(i int) error) error {
 		workers = n
 	}
 	if n == 0 {
-		return nil
+		return ctx.Err()
 	}
 	errs := make([]error, n)
 	idx := make(chan int)
@@ -149,7 +153,7 @@ func ForEach(workers, n int, f func(i int) error) error {
 			}
 		}()
 	}
-	for i := 0; i < n && !failed.Load(); i++ {
+	for i := 0; i < n && !failed.Load() && ctx.Err() == nil; i++ {
 		idx <- i
 	}
 	close(idx)
@@ -159,14 +163,14 @@ func ForEach(workers, n int, f func(i int) error) error {
 			return err
 		}
 	}
-	return nil
+	return ctx.Err()
 }
 
 // batch runs one analysis step per request across the pool, returning
 // results in request order.
-func (e *Engine) batch(reqs []Request, step func(Request) (*core.Analysis, error)) ([]*core.Analysis, error) {
+func (e *Engine) batch(ctx context.Context, reqs []Request, step func(Request) (*core.Analysis, error)) ([]*core.Analysis, error) {
 	out := make([]*core.Analysis, len(reqs))
-	err := ForEach(e.workers, len(reqs), func(i int) error {
+	err := ForEach(ctx, e.workers, len(reqs), func(i int) error {
 		a, err := step(reqs[i])
 		if err != nil {
 			return err
@@ -183,18 +187,20 @@ func (e *Engine) batch(reqs []Request, step func(Request) (*core.Analysis, error
 // PrepareAll runs the analysis prefix (through cache classification) for
 // every request, sharing memoized artefacts. Each returned Analysis is a
 // private clone: interference, bypass or locking adjustments on one
-// never leak into another.
-func (e *Engine) PrepareAll(reqs []Request) ([]*core.Analysis, error) {
-	return e.batch(reqs, func(r Request) (*core.Analysis, error) {
+// never leak into another. A cancelled ctx stops dispatch and returns
+// ctx.Err().
+func (e *Engine) PrepareAll(ctx context.Context, reqs []Request) ([]*core.Analysis, error) {
+	return e.batch(ctx, reqs, func(r Request) (*core.Analysis, error) {
 		return e.prepare(r.Task, r.Sys)
 	})
 }
 
 // AnalyzeAll runs the complete static WCET analysis for every request.
 // Results are in request order and bit-identical to calling core.Analyze
-// sequentially per request.
-func (e *Engine) AnalyzeAll(reqs []Request) ([]*core.Analysis, error) {
-	return e.batch(reqs, func(r Request) (*core.Analysis, error) {
+// sequentially per request. A cancelled ctx stops dispatch and returns
+// ctx.Err().
+func (e *Engine) AnalyzeAll(ctx context.Context, reqs []Request) ([]*core.Analysis, error) {
+	return e.batch(ctx, reqs, func(r Request) (*core.Analysis, error) {
 		a, err := e.prepare(r.Task, r.Sys)
 		if err != nil {
 			return nil, err
@@ -208,8 +214,8 @@ func (e *Engine) AnalyzeAll(reqs []Request) ([]*core.Analysis, error) {
 
 // Analyze is the single-request convenience: one fully priced analysis,
 // still sharing the engine's memo cache.
-func (e *Engine) Analyze(task core.Task, sys core.SystemConfig) (*core.Analysis, error) {
-	as, err := e.AnalyzeAll([]Request{{Task: task, Sys: sys}})
+func (e *Engine) Analyze(ctx context.Context, task core.Task, sys core.SystemConfig) (*core.Analysis, error) {
+	as, err := e.AnalyzeAll(ctx, []Request{{Task: task, Sys: sys}})
 	if err != nil {
 		return nil, err
 	}
@@ -230,8 +236,8 @@ func Requests(tasks []core.Task, sys core.SystemConfig) []Request {
 // pool and memo cache, then runs the shared-L2 joint analysis of §4.1 on
 // the prepared set. It replaces the sequential per-task Prepare loop of
 // the facade's AnalyzeJoint.
-func (e *Engine) AnalyzeJoint(tasks []core.Task, sys core.SystemConfig, model interfere.ConflictModel) (*interfere.JointResult, error) {
-	as, err := e.PrepareAll(Requests(tasks, sys))
+func (e *Engine) AnalyzeJoint(ctx context.Context, tasks []core.Task, sys core.SystemConfig, model interfere.ConflictModel) (*interfere.JointResult, error) {
+	as, err := e.PrepareAll(ctx, Requests(tasks, sys))
 	if err != nil {
 		return nil, err
 	}

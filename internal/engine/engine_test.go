@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -27,7 +28,7 @@ func testSys() core.SystemConfig {
 func TestAnalyzeAllMatchesSequential(t *testing.T) {
 	sys := testSys()
 	tasks := workload.Suite()
-	as, err := New(0).AnalyzeAll(Requests(tasks, sys))
+	as, err := New(0).AnalyzeAll(context.Background(), Requests(tasks, sys))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,7 +55,7 @@ func TestDeterminismAcrossGOMAXPROCS(t *testing.T) {
 	wcets := func(procs int) []int64 {
 		old := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(old)
-		as, err := New(0).AnalyzeAll(Requests(tasks, sys))
+		as, err := New(0).AnalyzeAll(context.Background(), Requests(tasks, sys))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -86,7 +87,7 @@ func TestMemoReuseAcrossBusSweep(t *testing.T) {
 		sys.Mem.BusDelay = d
 		reqs = append(reqs, Request{Task: task, Sys: sys})
 	}
-	as, err := e.AnalyzeAll(reqs)
+	as, err := e.AnalyzeAll(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func TestCloneIsolation(t *testing.T) {
 	e := New(1)
 	task := workload.CRC(8, workload.Slot(0))
 	sys := testSys()
-	as, err := e.PrepareAll(Requests([]core.Task{task, task}, sys))
+	as, err := e.PrepareAll(context.Background(), Requests([]core.Task{task, task}, sys))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +154,7 @@ func TestCloneIsolation(t *testing.T) {
 func TestAnalyzeJointMatchesSequential(t *testing.T) {
 	sys := testSys()
 	tasks := workload.Suite()[:3]
-	got, err := New(0).AnalyzeJoint(tasks, sys, interfere.AgeShift)
+	got, err := New(0).AnalyzeJoint(context.Background(), tasks, sys, interfere.AgeShift)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestErrorIsLowestIndex(t *testing.T) {
 	reqs := Requests([]core.Task{workload.CRC(8, workload.Slot(0)), bad, bad}, sys)
 	reqs[2].Task.Name = "bad2"
 	for trial := 0; trial < 10; trial++ {
-		_, err := New(0).AnalyzeAll(reqs)
+		_, err := New(0).AnalyzeAll(context.Background(), reqs)
 		if err == nil {
 			t.Fatal("bad facts accepted")
 		}
@@ -199,7 +200,7 @@ func TestErrorIsLowestIndex(t *testing.T) {
 
 func TestForEach(t *testing.T) {
 	var sum atomic.Int64
-	if err := ForEach(4, 100, func(i int) error {
+	if err := ForEach(context.Background(), 4, 100, func(i int) error {
 		sum.Add(int64(i))
 		return nil
 	}); err != nil {
@@ -209,7 +210,7 @@ func TestForEach(t *testing.T) {
 		t.Errorf("sum = %d, want 4950", sum.Load())
 	}
 	wantErr := errors.New("boom 17")
-	err := ForEach(8, 64, func(i int) error {
+	err := ForEach(context.Background(), 8, 64, func(i int) error {
 		if i >= 17 {
 			return fmt.Errorf("boom %d", i)
 		}
@@ -218,8 +219,49 @@ func TestForEach(t *testing.T) {
 	if err == nil || err.Error() != wantErr.Error() {
 		t.Errorf("err = %v, want %v (lowest failing index)", err, wantErr)
 	}
-	if err := ForEach(3, 0, func(int) error { return errors.New("no") }); err != nil {
+	if err := ForEach(context.Background(), 3, 0, func(int) error { return errors.New("no") }); err != nil {
 		t.Errorf("n=0 returned %v", err)
+	}
+}
+
+// TestCancellation: a canceled context stops dispatch promptly and is
+// reported as ctx.Err(), while task errors that already happened win
+// over the cancellation for determinism.
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := testSys()
+	if _, err := New(0).AnalyzeAll(ctx, Requests(workload.Suite(), sys)); !errors.Is(err, context.Canceled) {
+		t.Errorf("AnalyzeAll on canceled ctx = %v, want context.Canceled", err)
+	}
+	var ran atomic.Int64
+	err := ForEach(ctx, 4, 100, func(i int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("ForEach on canceled ctx = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d indices dispatched after cancellation", ran.Load())
+	}
+	// Mid-flight cancellation: cancel from inside an early index; later
+	// indices must not all run.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	var count atomic.Int64
+	err = ForEach(ctx2, 1, 1000, func(i int) error {
+		if i == 3 {
+			cancel2()
+		}
+		count.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-flight cancel = %v, want context.Canceled", err)
+	}
+	if count.Load() == 1000 {
+		t.Error("cancellation did not stop dispatch")
 	}
 }
 
@@ -238,7 +280,7 @@ func TestConcurrentMemoHammer(t *testing.T) {
 	for i := 0; i < 24; i++ {
 		reqs = append(reqs, Request{Task: base[i%len(base)], Sys: sys})
 	}
-	as, err := e.AnalyzeAll(reqs)
+	as, err := e.AnalyzeAll(context.Background(), reqs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -252,7 +294,7 @@ func TestConcurrentMemoHammer(t *testing.T) {
 		t.Errorf("stats = %d hits / %d misses, want misses = %d", hits, misses, len(base))
 	}
 	e.Reset()
-	if _, err := e.Analyze(base[0], sys); err != nil {
+	if _, err := e.Analyze(context.Background(), base[0], sys); err != nil {
 		t.Fatal(err)
 	}
 	if _, misses := e.Stats(); misses != uint64(len(base)+1) {

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -21,6 +22,7 @@ import (
 	"paratime/internal/sched"
 	"paratime/internal/sim"
 	"paratime/internal/smt"
+	"paratime/internal/spec"
 	"paratime/internal/workload"
 )
 
@@ -47,55 +49,41 @@ var All = map[string]Runner{
 var IDs = []string{"e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9",
 	"e10", "e11", "e12", "e13", "e14", "e15", "e16", "e17", "e18"}
 
-func defaultSys() core.SystemConfig {
-	sys := core.DefaultSystem()
-	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
-	return sys
-}
+// defaultSys is the canonical default system (one source, shared with
+// the facade and the Scenario decoder).
+func defaultSys() core.SystemConfig { return core.DefaultSystem() }
 
+// simFor abbreviates the shared sim constructor in experiment bodies.
 func simFor(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, shared bool, tasks ...core.Task) sim.System {
-	s := sim.System{L2: sys.Mem.L2, SharedL2: shared, Bus: bus, Mem: mem}
-	for _, t := range tasks {
-		s.Cores = append(s.Cores, sim.CoreConfig{
-			Name: t.Name, Prog: t.Prog, Pipe: sys.Pipeline,
-			L1I: sys.Mem.L1I, L1D: sys.Mem.L1D,
-		})
-	}
-	return s
+	return sim.FromConfig(sys, mem, bus, shared, tasks...)
 }
 
 // Exp01SoloWCET (§2.1): the solo static analysis is safe and reasonably
 // tight on every benchmark: WCET >= simulated cycles, modest ratio.
+// Rebased onto the Scenario API: one declarative solo request with
+// simulation validation (analysis and sims fan out through the engine).
 func Exp01SoloWCET() (*Result, error) {
-	sys := defaultSys()
-	mem := memctrl.DefaultConfig()
+	sc, err := scenarioE01()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := runScenario(sc)
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("E1: solo static WCET vs simulation (private caches)",
 		"task", "WCET", "sim cycles", "ratio", "classes")
 	worst := 0.0
-	tasks := workload.Suite()
-	as, err := analyzeAll(engine.Requests(tasks, sys))
-	if err != nil {
-		return nil, err
-	}
-	sims := make([]*sim.Result, len(tasks))
-	err = engine.ForEach(0, len(tasks), func(i int) error {
-		res, err := sim.Run(simFor(sys, mem, nil, false, tasks[i]), 200_000_000)
-		sims[i] = res
-		return err
-	})
-	if err != nil {
-		return nil, err
-	}
-	for i, task := range tasks {
-		a, res := as[i], sims[i]
-		if a.WCET < res.Cycles(0) {
-			return nil, fmt.Errorf("e1: UNSOUND %s: %d < %d", task.Name, a.WCET, res.Cycles(0))
+	for i, tr := range rep.Tasks {
+		sr := rep.Sim[i]
+		if !sr.Sound {
+			return nil, fmt.Errorf("e1: UNSOUND %s: %d < %d", tr.Name, tr.WCET, sr.Cycles)
 		}
-		r := float64(a.WCET) / float64(res.Cycles(0))
+		r := float64(tr.WCET) / float64(sr.Cycles)
 		if r > worst {
 			worst = r
 		}
-		t.Add(task.Name, a.WCET, res.Cycles(0), r, a.ClassSummary())
+		t.Add(tr.Name, tr.WCET, sr.Cycles, r, tr.Classes)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"worst_ratio": worst}}, nil
 }
@@ -197,33 +185,27 @@ func Exp03Measurement() (*Result, error) {
 }
 
 // Exp04YanZhang (§4.1): direct-mapped shared-L2 joint analysis is safe
-// but conflicts inflate the WCET as co-runners are added.
+// but conflicts inflate the WCET as co-runners are added. Rebased onto
+// the Scenario API: one joint/directmapped scenario per co-runner count.
 func Exp04YanZhang() (*Result, error) {
-	sys := defaultSys()
-	sys.Mem.L1I = cache.Config{Name: "L1I", Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}
-	dm := cache.Config{Name: "L2", Sets: 64, Ways: 1, LineBytes: 32, HitLatency: 4}
-	sys.Mem.L2 = &dm
 	t := report.New("E4: Yan & Zhang direct-mapped shared-L2 joint analysis",
 		"co-runners", "victim solo WCET", "victim joint WCET", "inflation")
 	var last float64
 	for n := 1; n <= 4; n++ {
-		tasks := []core.Task{bigLoopTask(40, 64)}
-		for i := 0; i < n; i++ {
-			tasks = append(tasks, workload.CRC(12, workload.Slot(i+1)))
-		}
-		as, err := prepareAll(tasks, sys)
+		sc, err := scenarioE04(n)
 		if err != nil {
 			return nil, err
 		}
-		res, err := interfere.AnalyzeJoint(as, interfere.DirectMapped)
+		rep, err := runScenario(sc)
 		if err != nil {
 			return nil, err
 		}
-		if res.JointWCET[0] < res.SoloWCET[0] {
+		victim := rep.Tasks[0]
+		if victim.WCET < victim.SoloWCET {
 			return nil, fmt.Errorf("e4: joint tighter than solo")
 		}
-		last = float64(res.JointWCET[0]) / float64(res.SoloWCET[0])
-		t.Add(n, res.SoloWCET[0], res.JointWCET[0], last)
+		last = float64(victim.WCET) / float64(victim.SoloWCET)
+		t.Add(n, victim.SoloWCET, victim.WCET, last)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"inflation_at_4": last}}, nil
 }
@@ -409,63 +391,34 @@ func Exp08PartitionLocking() (*Result, error) {
 
 // Exp09Bankization (§4.2, Paolieri et al.): with equal capacity
 // fractions, bank partitioning (full associativity kept) yields WCETs at
-// least as tight as way partitioning (columnization).
+// least as tight as way partitioning (columnization). Rebased onto the
+// Scenario API: the two partitioning schemes are two partition
+// scenarios over the same task set (the assocstress task loads three
+// scalars exactly one L2 way-group apart: three lines in one set
+// survive 4 ways bankized but thrash 2 ways columnized — the shape
+// behind Paolieri et al.'s finding).
 func Exp09Bankization() (*Result, error) {
-	sys := defaultSys()
-	// A tiny L1D forces the scalar loads through to the L2, where the
-	// associativity split matters.
-	sys.Mem.L1D = cache.Config{Name: "L1D", Sets: 2, Ways: 1, LineBytes: 16, HitLatency: 1}
-	l2 := cache.Config{Name: "L2", Sets: 32, Ways: 4, LineBytes: 32, HitLatency: 4}
+	scs, err := exportE09()
+	if err != nil {
+		return nil, err
+	}
+	repCol, err := runScenario(scs[0])
+	if err != nil {
+		return nil, err
+	}
+	repBank, err := runScenario(scs[1])
+	if err != nil {
+		return nil, err
+	}
 	t := report.New("E9: columnization vs bankization (half the cache each)",
 		"task", "columnized WCET (2 ways)", "bankized WCET (2 of 4 banks)", "bank/col")
-	col, err := partition.Columnize(l2, 2)
-	if err != nil {
-		return nil, err
-	}
-	bank, err := partition.Bankize(l2, 2, 4)
-	if err != nil {
-		return nil, err
-	}
-	// assocstress loads three scalars exactly one L2 way-group apart:
-	// three lines in one set survive 4 ways (bankized) but thrash 2 ways
-	// (columnized) — the shape behind Paolieri et al.'s finding.
-	stress := core.Task{Name: "assocstress", Prog: mustAsm("assocstress", `
-        li   r1, 40
-        li   r3, 0x8000
-loop:   ld   r4, 0(r3)
-        ld   r5, 0x400(r3)
-        ld   r6, 0x800(r3)
-        add  r7, r4, r5
-        add  r7, r7, r6
-        addi r1, r1, -1
-        bne  r1, r0, loop
-        halt
-.data 0x8000
-        .word 1
-.data 0x8400
-        .word 2
-.data 0x8800
-        .word 3`)}
-	// Both halves of the comparison batch through the engine: one request
-	// per (task, partitioned geometry).
-	sc, sb := sys, sys
-	sc.Mem.L2, sb.Mem.L2 = &col, &bank
-	tasks := append(workload.Suite()[:5], stress)
-	var reqs []engine.Request
-	for _, task := range tasks {
-		reqs = append(reqs, engine.Request{Task: task, Sys: sc}, engine.Request{Task: task, Sys: sb})
-	}
-	as, err := analyzeAll(reqs)
-	if err != nil {
-		return nil, err
-	}
 	wins := 0
-	for i, task := range tasks {
-		ac, ab := as[2*i], as[2*i+1]
+	for i := range repCol.Tasks {
+		ac, ab := repCol.Tasks[i], repBank.Tasks[i]
 		if ab.WCET <= ac.WCET {
 			wins++
 		}
-		t.Add(task.Name, ac.WCET, ab.WCET, report.Ratio(ab.WCET, ac.WCET))
+		t.Add(ac.Name, ac.WCET, ab.WCET, report.Ratio(ab.WCET, ac.WCET))
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"bank_wins": float64(wins)}}, nil
 }
@@ -502,40 +455,20 @@ func Exp10YieldCFG() (*Result, error) {
 
 // Exp12RoundRobin (§5.3): the round-robin bound D = N·L−1 holds in
 // simulation and the isolated per-core WCET scales linearly with N.
+// Rebased onto the Scenario API: one bus/roundrobin scenario per core
+// count (analysis and the heavy multicore simulation in each run fan
+// out through the engine; the per-n scenarios run concurrently too).
 func Exp12RoundRobin() (*Result, error) {
-	sys := defaultSys()
-	mem := memctrl.DefaultConfig()
-	lat := sys.Mem.L2.HitLatency + mem.Bound()
 	t := report.New("E12: round-robin isolation bound D = N·L−1",
 		"cores", "bound", "sim max wait", "victim WCET", "victim sim")
-	names := []core.Task{
-		workload.MemCopy(48, workload.Slot(0)),
-		workload.CRC(12, workload.Slot(1)),
-		workload.FIR(12, 4, workload.Slot(2)),
-		workload.CountBits(6, workload.Slot(3)),
-		workload.Fib(24, workload.Slot(4)),
-		workload.BSort(10, workload.Slot(5)),
-		workload.MemCopy(32, workload.Slot(6)),
-		workload.CRC(8, workload.Slot(7)),
-	}
-	// The victim is priced once per core count under the same cache
-	// geometry: four requests, one memoized Prepare (only the bus bound
-	// differs), and the heavy multicore simulations fan out alongside.
 	ns := []int{1, 2, 4, 8}
-	buses := make([]*arbiter.RoundRobin, len(ns))
-	reqs := make([]engine.Request, len(ns))
-	for i, n := range ns {
-		buses[i] = arbiter.NewRoundRobin(n, lat)
-		reqs[i] = engine.Request{Task: names[0], Sys: withBus(sys, buses[i].Bound(0))}
-	}
-	as, err := analyzeAll(reqs)
-	if err != nil {
-		return nil, err
-	}
-	sims := make([]*sim.Result, len(ns))
-	err = engine.ForEach(0, len(ns), func(i int) error {
-		res, err := sim.Run(simFor(sys, mem, buses[i], false, names[:ns[i]]...), 500_000_000)
-		sims[i] = res
+	reps := make([]*spec.Report, len(ns))
+	err := engine.ForEach(context.Background(), 0, len(ns), func(i int) error {
+		sc, err := scenarioE12(ns[i])
+		if err != nil {
+			return err
+		}
+		reps[i], err = runScenario(sc)
 		return err
 	})
 	if err != nil {
@@ -543,71 +476,65 @@ func Exp12RoundRobin() (*Result, error) {
 	}
 	var lastWCET float64
 	for i, n := range ns {
-		res, a := sims[i], as[i]
+		rep := reps[i]
+		victim := rep.Tasks[0]
 		var maxWait int64
-		for _, s := range res.Stats {
-			if s.BusWaitMax > maxWait {
-				maxWait = s.BusWaitMax
+		for _, sr := range rep.Sim {
+			if sr.BusWaitMax > maxWait {
+				maxWait = sr.BusWaitMax
 			}
 		}
-		if maxWait > int64(buses[i].Bound(0)) {
-			return nil, fmt.Errorf("e12: wait %d exceeds bound %d", maxWait, buses[i].Bound(0))
+		if maxWait > int64(victim.BusBound) {
+			return nil, fmt.Errorf("e12: wait %d exceeds bound %d", maxWait, victim.BusBound)
 		}
-		if a.WCET < res.Cycles(0) {
-			return nil, fmt.Errorf("e12: UNSOUND %d < %d at n=%d", a.WCET, res.Cycles(0), n)
+		if !rep.Sim[0].Sound {
+			return nil, fmt.Errorf("e12: UNSOUND %d < %d at n=%d", victim.WCET, rep.Sim[0].Cycles, n)
 		}
-		t.Add(n, buses[i].Bound(0), maxWait, a.WCET, res.Cycles(0))
-		lastWCET = float64(a.WCET)
+		t.Add(n, victim.BusBound, maxWait, victim.WCET, rep.Sim[0].Cycles)
+		lastWCET = float64(victim.WCET)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"wcet_at_8": lastWCET}}, nil
 }
 
 // Exp13MBBA (§5.3, Bourgade et al.): weighted multi-bandwidth arbitration
 // gives memory-heavy cores tighter bounds than uniform round robin.
+// Rebased onto the Scenario API: the two compared regimes are two bus
+// scenarios over the same task set (the engine memoizes the prepared
+// prefix per task, so the eight analyses still cost four Prepares); the
+// MBBA scenario carries the simulation validation.
 func Exp13MBBA() (*Result, error) {
-	sys := defaultSys()
-	mem := memctrl.DefaultConfig()
-	lat := sys.Mem.L2.HitLatency + mem.Bound()
 	weights := []int{4, 2, 1, 1}
-	mbba := arbiter.NewMultiBandwidth(weights, lat)
-	rr := arbiter.NewRoundRobin(4, lat)
-	tasks := []core.Task{
-		workload.MemCopy(64, workload.Slot(0)), // memory-heavy: weight 4
-		workload.FIR(12, 4, workload.Slot(1)),
-		workload.Fib(24, workload.Slot(2)),
-		workload.CountBits(4, workload.Slot(3)),
+	scRR, err := scenarioE13RR()
+	if err != nil {
+		return nil, err
+	}
+	scMB, err := scenarioE13MBBA()
+	if err != nil {
+		return nil, err
+	}
+	repRR, err := runScenario(scRR)
+	if err != nil {
+		return nil, err
+	}
+	repMB, err := runScenario(scMB)
+	if err != nil {
+		return nil, err
 	}
 	t := report.New("E13: MBBA weighted bounds vs uniform round robin",
 		"core (weight)", "rr bound", "mbba bound", "rr WCET", "mbba WCET")
-	// Each task is priced under both arbiters; the engine memoizes the
-	// prepared prefix per task, so the eight analyses cost four Prepares.
-	var reqs []engine.Request
-	for i, task := range tasks {
-		reqs = append(reqs,
-			engine.Request{Task: task, Sys: withBus(sys, rr.Bound(i))},
-			engine.Request{Task: task, Sys: withBus(sys, mbba.Bound(i))})
-	}
-	as, err := analyzeAll(reqs)
-	if err != nil {
-		return nil, err
-	}
 	var heavyGain float64
-	for i, task := range tasks {
-		ar, am := as[2*i], as[2*i+1]
+	for i := range repRR.Tasks {
+		ar, am := repRR.Tasks[i], repMB.Tasks[i]
 		if i == 0 {
 			heavyGain = float64(ar.WCET) / float64(am.WCET)
 		}
-		t.Add(fmt.Sprintf("%s (w=%d)", task.Name, weights[i]),
-			rr.Bound(i), mbba.Bound(i), ar.WCET, am.WCET)
+		t.Add(fmt.Sprintf("%s (w=%d)", ar.Name, weights[i]),
+			ar.BusBound, am.BusBound, ar.WCET, am.WCET)
 	}
-	// Validate the MBBA bounds in simulation.
-	res, err := sim.Run(simFor(sys, mem, mbba, false, tasks...), 500_000_000)
-	if err != nil {
-		return nil, err
-	}
-	for i, s := range res.Stats {
-		if s.BusWaitMax > int64(mbba.Bound(i)) {
-			return nil, fmt.Errorf("e13: core %d wait %d exceeds bound %d", i, s.BusWaitMax, mbba.Bound(i))
+	// The MBBA bounds are validated in the scenario's simulation run.
+	for i, sr := range repMB.Sim {
+		if sr.BusWaitMax > int64(repMB.Tasks[i].BusBound) {
+			return nil, fmt.Errorf("e13: core %d wait %d exceeds bound %d", i, sr.BusWaitMax, repMB.Tasks[i].BusBound)
 		}
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"heavy_core_gain": heavyGain}}, nil
@@ -652,36 +579,33 @@ func Exp14CarCore() (*Result, error) {
 
 // Exp15PRET (§5.3, Lickly et al.): per-thread timing on the
 // thread-interleaved pipeline is identical under every co-runner mix and
-// bounded by the wheel-based analysis.
+// bounded by the wheel-based analysis. Rebased onto the Scenario API:
+// one pret scenario per co-runner count, each simulation-validated.
 func Exp15PRET() (*Result, error) {
-	pc := smt.DefaultPret()
-	victim := workload.CRC(8, workload.Slot(0))
-	bound, err := pc.AnalyzeWCET(victim.Prog, victim.Facts)
-	if err != nil {
-		return nil, err
-	}
 	t := report.New("E15: PRET thread-interleaved isolation",
 		"co-runners", "victim cycles", "static bound")
-	ref := int64(-1)
+	ref, bound := int64(-1), int64(0)
 	for n := 0; n <= 5; n++ {
-		progs := []*progT{victim.Prog}
-		for _, task := range makeNHRTTasks(n) {
-			progs = append(progs, task.Prog)
-		}
-		times, err := pc.SimulatePret(progs, 50_000_000)
+		sc, err := scenarioE15(n)
 		if err != nil {
 			return nil, err
 		}
-		if ref < 0 {
-			ref = times[0]
+		rep, err := runScenario(sc)
+		if err != nil {
+			return nil, err
 		}
-		if times[0] != ref {
+		bound = rep.Tasks[0].WCET
+		cycles := rep.Sim[0].Cycles
+		if ref < 0 {
+			ref = cycles
+		}
+		if cycles != ref {
 			return nil, fmt.Errorf("e15: victim time changed with %d co-runners", n)
 		}
-		if bound < times[0] {
-			return nil, fmt.Errorf("e15: UNSOUND bound %d < %d", bound, times[0])
+		if !rep.Sim[0].Sound {
+			return nil, fmt.Errorf("e15: UNSOUND bound %d < %d", bound, cycles)
 		}
-		t.Add(n, times[0], bound)
+		t.Add(n, cycles, bound)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{
 		"victim_cycles": float64(ref), "bound": float64(bound),
@@ -690,34 +614,25 @@ func Exp15PRET() (*Result, error) {
 
 // Exp16SMTQueues (§4.2/§5.3, Barre et al.): partitioned queues with
 // round-robin FUs give workload-independent bounds; shared queues allow
-// unbounded starvation.
+// unbounded starvation. The partitioned-queue half is rebased onto the
+// Scenario API (one smt scenario, simulation-validated); the starvation
+// rows remain the analytical closed form.
 func Exp16SMTQueues() (*Result, error) {
-	cfg := smt.BarreConfig{Threads: 4, FULatency: 2, MemLatency: 10}
-	tasks := []core.Task{
-		workload.Fib(24, workload.Slot(0)),
-		workload.CRC(8, workload.Slot(1)),
-		workload.CountBits(4, workload.Slot(2)),
-		workload.MemCopy(16, workload.Slot(3)),
+	sc, err := scenarioE16()
+	if err != nil {
+		return nil, err
 	}
-	progs := make([]*progT, len(tasks))
-	for i, task := range tasks {
-		progs[i] = task.Prog
-	}
-	times, err := cfg.SimulateBarre(progs, 10_000_000)
+	rep, err := runScenario(sc)
 	if err != nil {
 		return nil, err
 	}
 	t := report.New("E16: partitioned-queue SMT bounds vs shared-queue starvation",
 		"thread", "sim cycles", "static bound", "ok")
-	for i, task := range tasks {
-		bound, err := cfg.AnalyzeWCET(task.Prog, task.Facts)
-		if err != nil {
-			return nil, err
-		}
-		if bound < times[i] {
+	for i, tr := range rep.Tasks {
+		if !rep.Sim[i].Sound {
 			return nil, fmt.Errorf("e16: UNSOUND thread %d", i)
 		}
-		t.Add(task.Name, times[i], bound, "bound holds")
+		t.Add(tr.Name, rep.Sim[i].Cycles, tr.WCET, "bound holds")
 	}
 	for _, stall := range []int64{100, 1000, 10000} {
 		t.Add(fmt.Sprintf("shared queue, co-runner stall %d", stall),

@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"paratime/internal/spec"
+)
+
+// TestExportRoundTrip: every exported scenario must survive
+// Decode(Encode(s)) identically — the property that keeps scenario
+// files replayable across builds.
+func TestExportRoundTrip(t *testing.T) {
+	scs, err := ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scs) == 0 {
+		t.Fatal("nothing exported")
+	}
+	names := map[string]bool{}
+	for _, sc := range scs {
+		if names[sc.Name] {
+			t.Errorf("duplicate scenario name %q", sc.Name)
+		}
+		names[sc.Name] = true
+		data, err := sc.Encode()
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		got, err := spec.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if !reflect.DeepEqual(sc, got) {
+			t.Errorf("%s: decode(encode(s)) != s", sc.Name)
+		}
+	}
+	// The full export stream decodes as one array, too.
+	all, err := spec.EncodeAll(scs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := spec.DecodeAll(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scs, back) {
+		t.Error("export array round trip mismatch")
+	}
+}
+
+// TestExportCoversRegimes: the exported set must span every §3–§5
+// sharing regime expressible in schema v1.
+func TestExportCoversRegimes(t *testing.T) {
+	scs, err := ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, sc := range scs {
+		key := sc.Mode.Kind
+		switch sc.Mode.Kind {
+		case spec.KindJoint:
+			key += "/" + sc.Mode.Model
+			if len(sc.Mode.Lifetimes) > 0 {
+				key += "+lifetimes"
+			}
+			for _, task := range sc.Tasks {
+				if task.Bypass {
+					key += "+bypass"
+				}
+			}
+		case spec.KindPartition:
+			key += "/" + sc.Mode.Partition.Scheme
+		case spec.KindLock:
+			key += "/" + sc.Mode.Lock.Policy
+		case spec.KindBus:
+			key += "/" + sc.Mode.Bus.Policy
+		}
+		seen[key] = true
+	}
+	want := []string{
+		"solo",
+		"joint/directmapped", "joint/ageshift", "joint/ageshift+lifetimes", "joint/ageshift+bypass",
+		"partition/task", "partition/core", "partition/ways", "partition/banks",
+		"lock/static", "lock/dynamic",
+		"bus/roundrobin", "bus/tdma", "bus/mbba",
+		"smt", "pret",
+	}
+	for _, key := range want {
+		if !seen[key] {
+			t.Errorf("no exported scenario covers regime %q", key)
+		}
+	}
+}
+
+// TestExportUnknownAndInexpressible: export fails with a clear message
+// for unknown ids and for experiments with no scenario form.
+func TestExportUnknownAndInexpressible(t *testing.T) {
+	if _, err := Export("e99"); err == nil {
+		t.Error("unknown id accepted")
+	}
+	if _, err := Export("e17"); err == nil {
+		t.Error("inexpressible experiment accepted")
+	}
+}

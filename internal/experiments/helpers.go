@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"paratime/internal/arbiter"
@@ -10,6 +11,7 @@ import (
 	"paratime/internal/isa"
 	"paratime/internal/pipeline"
 	"paratime/internal/report"
+	"paratime/internal/spec"
 	"paratime/internal/workload"
 )
 
@@ -25,13 +27,19 @@ var eng = engine.New(0)
 
 // analyzeAll batches full analyses for every request through eng.
 func analyzeAll(reqs []engine.Request) ([]*core.Analysis, error) {
-	return eng.AnalyzeAll(reqs)
+	return eng.AnalyzeAll(context.Background(), reqs)
 }
 
 // prepareAll batches the analysis prefix for tasks sharing one system
 // configuration (the joint-analysis shape).
 func prepareAll(tasks []core.Task, sys core.SystemConfig) ([]*core.Analysis, error) {
-	return eng.PrepareAll(engine.Requests(tasks, sys))
+	return eng.PrepareAll(context.Background(), engine.Requests(tasks, sys))
+}
+
+// runScenario executes one scenario on the package-shared engine; the
+// rebased experiments build their requests declaratively through it.
+func runScenario(sc *spec.Scenario) (*spec.Report, error) {
+	return spec.Run(context.Background(), sc, eng)
 }
 
 func boolMetric(b bool) float64 {

@@ -61,6 +61,20 @@ func (f *Facts) Constrain(c Constraint) *Facts {
 	return f
 }
 
+// Bounds returns a copy of the annotated loop bounds by header label (nil
+// when there are none). Serialization formats use it to externalize an
+// annotation set; graph-bound Constraints are not covered.
+func (f *Facts) Bounds() map[string]int {
+	if f == nil || len(f.bounds) == 0 {
+		return nil
+	}
+	out := make(map[string]int, len(f.bounds))
+	for l, n := range f.bounds {
+		out[l] = n
+	}
+	return out
+}
+
 // Fingerprint returns a stable content key over the annotation set, used
 // by the batch engine to memoize prepared analyses. Loop bounds are
 // serialized by label; extra constraints are serialized structurally

@@ -120,6 +120,23 @@ func (o Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(o))
 }
 
+// opsByName inverts opNames for mnemonic lookup (serialization formats
+// store opcodes by mnemonic so encodings stay stable if numeric opcode
+// values ever shift).
+var opsByName = func() map[string]Op {
+	m := make(map[string]Op, numOps)
+	for op, name := range opNames {
+		m[name] = Op(op)
+	}
+	return m
+}()
+
+// OpByName returns the opcode with the given assembler mnemonic.
+func OpByName(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}
+
 // Class groups opcodes by their pipeline resource usage. The pipeline
 // timing model assigns execution latencies per class, not per opcode.
 type Class uint8

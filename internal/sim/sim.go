@@ -18,6 +18,7 @@ import (
 
 	"paratime/internal/arbiter"
 	"paratime/internal/cache"
+	"paratime/internal/core"
 	"paratime/internal/isa"
 	"paratime/internal/memctrl"
 	"paratime/internal/pipeline"
@@ -48,6 +49,22 @@ type System struct {
 	Bus arbiter.Arbiter
 	// Mem is the memory device configuration.
 	Mem memctrl.Config
+}
+
+// FromConfig assembles a multicore simulation where every core runs one
+// task under the same single-core configuration. It is the one place
+// the analysis-side core.SystemConfig is wired into simulation cores;
+// the facade, the experiments, and the scenario runner all build their
+// systems through it.
+func FromConfig(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, sharedL2 bool, tasks ...core.Task) System {
+	s := System{L2: sys.Mem.L2, SharedL2: sharedL2, Bus: bus, Mem: mem}
+	for _, t := range tasks {
+		s.Cores = append(s.Cores, CoreConfig{
+			Name: t.Name, Prog: t.Prog, Pipe: sys.Pipeline,
+			L1I: sys.Mem.L1I, L1D: sys.Mem.L1D,
+		})
+	}
+	return s
 }
 
 // CoreStats reports per-core observations.

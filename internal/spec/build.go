@@ -1,0 +1,271 @@
+package spec
+
+import (
+	"fmt"
+	"reflect"
+
+	"paratime/internal/cache"
+	"paratime/internal/core"
+	"paratime/internal/flow"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/pipeline"
+)
+
+// classNames fixes the serialized name of every pipeline instruction
+// class. The names match isa.Class.String but are pinned here so the
+// wire format cannot drift with diagnostics output.
+var classNames = map[string]isa.Class{
+	"nop": isa.ClassNop, "alu": isa.ClassALU, "mul": isa.ClassMul,
+	"div": isa.ClassDiv, "load": isa.ClassLoad, "store": isa.ClassStore,
+	"branch": isa.ClassBranch, "jump": isa.ClassJump, "halt": isa.ClassHalt,
+}
+
+func classByName(name string) (isa.Class, bool) {
+	c, ok := classNames[name]
+	return c, ok
+}
+
+func knownClassNames() string {
+	return "nop alu mul div load store branch jump halt"
+}
+
+func opByName(name string) (isa.Op, bool) { return isa.OpByName(name) }
+
+// DefaultSystemSpec returns the canonical default system (the spec-side
+// twin of core.DefaultSystem): private L1s, a shared 4 KiB L2, and the
+// default analyzable memory controller.
+func DefaultSystemSpec() SystemSpec {
+	return SystemToSpec(core.DefaultSystem(), memctrl.DefaultConfig())
+}
+
+// --- spec -> runnable --------------------------------------------------------
+
+// BuildTask materializes one task: assembles Source or reconstructs the
+// prebuilt Program, and turns Bounds into flow annotations.
+func (t *TaskSpec) BuildTask() (core.Task, error) {
+	var prog *isa.Program
+	var err error
+	switch {
+	case t.Source != "":
+		prog, err = isa.Assemble(t.Name, t.Source)
+		if err != nil {
+			return core.Task{}, fmt.Errorf("spec: task %q: %w", t.Name, err)
+		}
+	default:
+		prog, err = t.Program.buildProgram(t.Name)
+		if err != nil {
+			return core.Task{}, err
+		}
+	}
+	var facts *flow.Facts
+	if len(t.Bounds) > 0 {
+		facts = flow.NewFacts()
+		for label, n := range t.Bounds {
+			facts.Bound(label, n)
+		}
+	}
+	return core.Task{Name: t.Name, Prog: prog, Facts: facts}, nil
+}
+
+func (p *ProgramSpec) buildProgram(name string) (*isa.Program, error) {
+	prog := &isa.Program{
+		Name:  name,
+		Base:  p.Base,
+		Insts: make([]isa.Inst, len(p.Insts)),
+	}
+	for i, in := range p.Insts {
+		op, ok := isa.OpByName(in.Op)
+		if !ok {
+			return nil, fmt.Errorf("spec: task %q: instruction %d has unknown opcode %q", name, i, in.Op)
+		}
+		prog.Insts[i] = isa.Inst{
+			Op: op, Rd: isa.Reg(in.Rd), Rs1: isa.Reg(in.Rs1), Rs2: isa.Reg(in.Rs2),
+			Imm: in.Imm, Target: in.Target,
+		}
+	}
+	if len(p.Labels) > 0 {
+		prog.Labels = make(map[string]int, len(p.Labels))
+		for l, i := range p.Labels {
+			prog.Labels[l] = i
+		}
+	}
+	if len(p.Data) > 0 {
+		prog.Data = make(map[uint32]int32, len(p.Data))
+		for a, w := range p.Data {
+			prog.Data[a] = w
+		}
+	}
+	if len(p.DataLabels) > 0 {
+		prog.DataLabels = make(map[string]uint32, len(p.DataLabels))
+		for l, a := range p.DataLabels {
+			prog.DataLabels[l] = a
+		}
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, fmt.Errorf("spec: task %q: %w", name, err)
+	}
+	return prog, nil
+}
+
+func (c CacheSpec) toConfig(name string) cache.Config {
+	return cache.Config{
+		Name: name, Sets: c.Sets, Ways: c.Ways, LineBytes: c.LineBytes,
+		HitLatency: c.HitLatency, MissPenalty: c.MissPenalty,
+	}
+}
+
+func (m *MemCtrlSpec) toConfig() memctrl.Config {
+	return memctrl.Config{
+		Banks: m.Banks, RowBits: m.RowBits, CAS: m.CAS,
+		Activate: m.Activate, Precharge: m.Precharge, ClosedPage: m.ClosedPage,
+	}
+}
+
+// MemConfig returns the scenario's memory-controller device (the default
+// when unspecified).
+func (sys SystemSpec) MemConfig() memctrl.Config {
+	if sys.MemCtrl == nil {
+		return memctrl.DefaultConfig()
+	}
+	return sys.MemCtrl.toConfig()
+}
+
+// BuildSystem materializes the full single-core analysis configuration:
+// caches, pipeline, fixed bus delay, and the effective memory bound
+// (explicit MemLatency, or the controller's worst-case access bound).
+func (sys SystemSpec) BuildSystem() (core.SystemConfig, error) {
+	out := core.SystemConfig{Pipeline: pipeline.DefaultConfig()}
+	if sys.Pipeline != nil {
+		pc := pipeline.Config{
+			ExLat:         map[isa.Class]int{},
+			BranchPenalty: sys.Pipeline.BranchPenalty,
+		}
+		for name, lat := range sys.Pipeline.ExLat {
+			cls, ok := classByName(name)
+			if !ok {
+				return core.SystemConfig{}, fmt.Errorf("spec: unknown instruction class %q", name)
+			}
+			pc.ExLat[cls] = lat
+		}
+		out.Pipeline = pc
+	}
+	out.Mem.L1I = sys.L1I.toConfig("L1I")
+	out.Mem.L1D = sys.L1D.toConfig("L1D")
+	if sys.L2 != nil {
+		l2 := sys.L2.toConfig("L2")
+		out.Mem.L2 = &l2
+	}
+	out.Mem.BusDelay = sys.BusDelay
+	out.Mem.MemLatency = sys.MemLatency
+	if out.Mem.MemLatency == 0 {
+		out.Mem.MemLatency = sys.MemConfig().Bound()
+	}
+	return out, nil
+}
+
+// --- runnable -> spec --------------------------------------------------------
+
+// ProgramToSpec externalizes a program image losslessly.
+func ProgramToSpec(p *isa.Program) *ProgramSpec {
+	out := &ProgramSpec{Base: p.Base, Insts: make([]InstSpec, len(p.Insts))}
+	for i, in := range p.Insts {
+		out.Insts[i] = InstSpec{
+			Op: in.Op.String(), Rd: uint8(in.Rd), Rs1: uint8(in.Rs1), Rs2: uint8(in.Rs2),
+			Imm: in.Imm, Target: in.Target,
+		}
+	}
+	if len(p.Labels) > 0 {
+		out.Labels = make(map[string]int, len(p.Labels))
+		for l, i := range p.Labels {
+			out.Labels[l] = i
+		}
+	}
+	if len(p.Data) > 0 {
+		out.Data = make(map[uint32]int32, len(p.Data))
+		for a, w := range p.Data {
+			out.Data[a] = w
+		}
+	}
+	if len(p.DataLabels) > 0 {
+		out.DataLabels = make(map[string]uint32, len(p.DataLabels))
+		for l, a := range p.DataLabels {
+			out.DataLabels[l] = a
+		}
+	}
+	return out
+}
+
+// TaskToSpec externalizes one analysis task. It fails when the task
+// carries graph-bound extra flow constraints, which have no stable
+// serialized form in schema v1.
+func TaskToSpec(t core.Task) (TaskSpec, error) {
+	if t.Facts != nil && len(t.Facts.Constraints) > 0 {
+		return TaskSpec{}, fmt.Errorf(
+			"spec: task %q carries %d graph-bound flow constraints, which schema v1 cannot serialize",
+			t.Name, len(t.Facts.Constraints))
+	}
+	return TaskSpec{
+		Name:    t.Name,
+		Program: ProgramToSpec(t.Prog),
+		Bounds:  t.Facts.Bounds(),
+	}, nil
+}
+
+// TasksToSpec externalizes a task list in order.
+func TasksToSpec(tasks []core.Task) ([]TaskSpec, error) {
+	out := make([]TaskSpec, len(tasks))
+	for i, t := range tasks {
+		ts, err := TaskToSpec(t)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = ts
+	}
+	return out, nil
+}
+
+func cacheToSpec(c cache.Config) CacheSpec {
+	return CacheSpec{
+		Sets: c.Sets, Ways: c.Ways, LineBytes: c.LineBytes,
+		HitLatency: c.HitLatency, MissPenalty: c.MissPenalty,
+	}
+}
+
+// SystemToSpec externalizes a system configuration together with its
+// memory device. The pipeline is serialized only when it differs from
+// the default, and MemLatency only when it differs from the device's
+// derived bound, keeping scenario files small. The one value that
+// cannot be expressed is a literal MemLatency of 0 (zero-cost memory):
+// the schema reserves 0 for "derive from the controller", so such a
+// system round-trips to the derived bound instead.
+func SystemToSpec(sys core.SystemConfig, mem memctrl.Config) SystemSpec {
+	out := SystemSpec{
+		L1I:      cacheToSpec(sys.Mem.L1I),
+		L1D:      cacheToSpec(sys.Mem.L1D),
+		BusDelay: sys.Mem.BusDelay,
+	}
+	if sys.Mem.L2 != nil {
+		l2 := cacheToSpec(*sys.Mem.L2)
+		out.L2 = &l2
+	}
+	if mem != memctrl.DefaultConfig() {
+		out.MemCtrl = &MemCtrlSpec{
+			Banks: mem.Banks, RowBits: mem.RowBits, CAS: mem.CAS,
+			Activate: mem.Activate, Precharge: mem.Precharge, ClosedPage: mem.ClosedPage,
+		}
+	}
+	if sys.Mem.MemLatency != mem.Bound() {
+		out.MemLatency = sys.Mem.MemLatency
+	}
+	if !reflect.DeepEqual(sys.Pipeline, pipeline.DefaultConfig()) {
+		ps := &PipelineSpec{ExLat: map[string]int{}, BranchPenalty: sys.Pipeline.BranchPenalty}
+		for name, cls := range classNames {
+			if lat, ok := sys.Pipeline.ExLat[cls]; ok {
+				ps.ExLat[name] = lat
+			}
+		}
+		out.Pipeline = ps
+	}
+	return out
+}

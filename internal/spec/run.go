@@ -1,0 +1,458 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"paratime/internal/arbiter"
+	"paratime/internal/core"
+	"paratime/internal/engine"
+	"paratime/internal/interfere"
+	"paratime/internal/isa"
+	"paratime/internal/memctrl"
+	"paratime/internal/partition"
+	"paratime/internal/sched"
+	"paratime/internal/sim"
+	"paratime/internal/smt"
+)
+
+// Default simulation limits when SimSpec.MaxCycles is zero.
+const (
+	defaultSimCycles = 500_000_000
+	defaultSMTSteps  = 10_000_000
+	defaultPretSteps = 50_000_000
+)
+
+// Report is the structured result of running one Scenario. It encodes to
+// JSON (Encode) and renders as text (Fprint), and carries the same
+// schema version as the scenario format.
+type Report struct {
+	Spec     int          `json:"spec"`
+	Scenario string       `json:"scenario,omitempty"`
+	Mode     string       `json:"mode"`
+	Tasks    []TaskReport `json:"tasks"`
+	// Sim holds per-core validation results when the scenario requested
+	// simulation; entry order matches Tasks.
+	Sim []SimReport `json:"sim,omitempty"`
+}
+
+// TaskReport is one task's analysis outcome.
+type TaskReport struct {
+	Name string `json:"name"`
+	// WCET is the bound under the scenario's sharing regime.
+	WCET int64 `json:"wcet"`
+	// SoloWCET is the private-resource baseline (joint modes).
+	SoloWCET int64 `json:"soloWCET,omitempty"`
+	// DeltaVsSolo = WCET − SoloWCET (joint modes).
+	DeltaVsSolo int64 `json:"deltaVsSolo,omitempty"`
+	// RefinedWCET is the lifetime-refined bound (joint with lifetimes);
+	// WCET carries the same value.
+	RefinedWCET int64 `json:"refinedWCET,omitempty"`
+	// BusBound is the per-core worst-case arbitration delay (mode bus).
+	BusBound int `json:"busBound,omitempty"`
+	// BypassedRefs counts references the single-usage bypass removed
+	// from the shared L2 (joint mode, tasks with bypass: true).
+	BypassedRefs int `json:"bypassedRefs,omitempty"`
+	// LockedLines counts cache lines the locking policy pinned (mode
+	// lock).
+	LockedLines int `json:"lockedLines,omitempty"`
+	// Classes summarizes cache classification counts per level.
+	Classes string `json:"classes,omitempty"`
+}
+
+// SimReport is one core's validation outcome.
+type SimReport struct {
+	Name   string `json:"name"`
+	Cycles int64  `json:"cycles"`
+	// BusWaitMax is the longest observed arbitration wait (bus mode).
+	BusWaitMax int64 `json:"busWaitMax,omitempty"`
+	// Sound reports WCET >= Cycles for the matching task.
+	Sound bool `json:"sound"`
+}
+
+// Encode renders the report as indented JSON.
+func (r *Report) Encode() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// Fprint renders the report as aligned text.
+func (r *Report) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "scenario %s  mode %s\n", orDash(r.Scenario), r.Mode)
+	for i, t := range r.Tasks {
+		fmt.Fprintf(w, "  %-16s WCET %10d", t.Name, t.WCET)
+		if t.SoloWCET != 0 {
+			fmt.Fprintf(w, "  solo %10d  delta %8d", t.SoloWCET, t.DeltaVsSolo)
+		}
+		if t.BusBound != 0 {
+			fmt.Fprintf(w, "  bus bound %5d", t.BusBound)
+		}
+		if t.BypassedRefs != 0 {
+			fmt.Fprintf(w, "  bypassed %d", t.BypassedRefs)
+		}
+		if t.LockedLines != 0 {
+			fmt.Fprintf(w, "  locked %d", t.LockedLines)
+		}
+		if i < len(r.Sim) {
+			s := r.Sim[i]
+			verdict := "SOUND"
+			if !s.Sound {
+				verdict = "UNSOUND"
+			}
+			fmt.Fprintf(w, "  sim %10d  %s", s.Cycles, verdict)
+		}
+		if t.Classes != "" {
+			fmt.Fprintf(w, "  %s", t.Classes)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// Run executes a validated scenario: it materializes tasks and system,
+// dispatches to the analysis machinery selected by the mode (through the
+// batch engine's worker pool and memo cache), optionally cross-checks
+// the bounds in simulation, and assembles a Report. A nil engine gets a
+// private one. Cancelling ctx makes Run return promptly with ctx.Err().
+func Run(ctx context.Context, s *Scenario, eng *engine.Engine) (*Report, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if eng == nil {
+		eng = engine.New(0)
+	}
+	tasks := make([]core.Task, len(s.Tasks))
+	for i := range s.Tasks {
+		t, err := s.Tasks[i].BuildTask()
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	sys, err := s.System.BuildSystem()
+	if err != nil {
+		return nil, err
+	}
+	mem := s.System.MemConfig()
+
+	rep := &Report{Spec: Version, Scenario: s.Name, Mode: s.Mode.Kind}
+	switch s.Mode.Kind {
+	case KindSolo:
+		err = runSolo(ctx, s, eng, tasks, sys, mem, rep)
+	case KindJoint:
+		err = runJoint(ctx, s, eng, tasks, sys, mem, rep)
+	case KindPartition:
+		err = runPartition(ctx, s, eng, tasks, sys, rep)
+	case KindLock:
+		err = runLock(ctx, s, tasks, sys, rep)
+	case KindBus:
+		err = runBus(ctx, s, eng, tasks, sys, mem, rep)
+	case KindSMT:
+		err = runSMT(ctx, s, tasks, rep)
+	case KindPRET:
+		err = runPret(ctx, s, tasks, rep)
+	default:
+		err = fmt.Errorf("spec: unknown mode kind %q", s.Mode.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+func simLimit(s *Scenario, fallback int64) int64 {
+	if s.Sim != nil && s.Sim.MaxCycles > 0 {
+		return s.Sim.MaxCycles
+	}
+	return fallback
+}
+
+func fillSim(rep *Report, tasks []core.Task, cycles func(i int) int64, waitMax func(i int) int64) {
+	for i, t := range tasks {
+		sr := SimReport{Name: t.Name, Cycles: cycles(i), Sound: rep.Tasks[i].WCET >= cycles(i)}
+		if waitMax != nil {
+			sr.BusWaitMax = waitMax(i)
+		}
+		rep.Sim = append(rep.Sim, sr)
+	}
+}
+
+func runSolo(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+	as, err := eng.AnalyzeAll(ctx, engine.Requests(tasks, sys))
+	if err != nil {
+		return err
+	}
+	for i, a := range as {
+		rep.Tasks = append(rep.Tasks, TaskReport{Name: tasks[i].Name, WCET: a.WCET, Classes: a.ClassSummary()})
+	}
+	if s.Sim == nil {
+		return nil
+	}
+	sims := make([]*sim.Result, len(tasks))
+	err = engine.ForEach(ctx, eng.Workers(), len(tasks), func(i int) error {
+		res, err := sim.Run(sim.FromConfig(sys, mem, nil, false, tasks[i]), simLimit(s, defaultSimCycles))
+		sims[i] = res
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, func(i int) int64 { return sims[i].Cycles(0) }, nil)
+	return nil
+}
+
+func conflictModel(name string) interfere.ConflictModel {
+	if name == ModelDirectMapped {
+		return interfere.DirectMapped
+	}
+	return interfere.AgeShift
+}
+
+func runJoint(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+	as, err := eng.PrepareAll(ctx, engine.Requests(tasks, sys))
+	if err != nil {
+		return err
+	}
+	bypassed := make([]int, len(tasks))
+	for i := range s.Tasks {
+		if !s.Tasks[i].Bypass {
+			continue
+		}
+		n, err := interfere.ApplyBypass(as[i])
+		if err != nil {
+			return fmt.Errorf("spec: bypass on task %q: %w", tasks[i].Name, err)
+		}
+		bypassed[i] = n
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	model := conflictModel(s.Mode.Model)
+	if len(s.Mode.Lifetimes) > 0 {
+		specs := make([]sched.TaskSpec, len(tasks))
+		for i, l := range s.Mode.Lifetimes {
+			specs[i] = sched.TaskSpec{Name: tasks[i].Name, Core: l.Core, Priority: l.Priority, Deps: append([]int(nil), l.Deps...)}
+		}
+		res, err := interfere.AnalyzeWithLifetimes(as, specs, model)
+		if err != nil {
+			return err
+		}
+		for i := range tasks {
+			rep.Tasks = append(rep.Tasks, TaskReport{
+				Name: tasks[i].Name, WCET: res.RefinedWCET[i],
+				SoloWCET: res.SoloWCET[i], DeltaVsSolo: res.RefinedWCET[i] - res.SoloWCET[i],
+				RefinedWCET: res.RefinedWCET[i], BypassedRefs: bypassed[i],
+				Classes: as[i].ClassSummary(),
+			})
+		}
+	} else {
+		res, err := interfere.AnalyzeJoint(as, model)
+		if err != nil {
+			return err
+		}
+		for i := range tasks {
+			rep.Tasks = append(rep.Tasks, TaskReport{
+				Name: tasks[i].Name, WCET: res.JointWCET[i],
+				SoloWCET: res.SoloWCET[i], DeltaVsSolo: res.JointWCET[i] - res.SoloWCET[i],
+				BypassedRefs: bypassed[i], Classes: as[i].ClassSummary(),
+			})
+		}
+	}
+	if s.Sim == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.FromConfig(sys, mem, nil, true, tasks...), simLimit(s, defaultSimCycles))
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, res.Cycles, nil)
+	return nil
+}
+
+func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, rep *Report) error {
+	p := s.Mode.Partition
+	var view = *sys.Mem.L2
+	var err error
+	switch p.Scheme {
+	case PartTask:
+		view, err = partition.SetPartition(*sys.Mem.L2, len(tasks))
+	case PartCore:
+		view, err = partition.SetPartition(*sys.Mem.L2, p.Cores)
+	case PartWays:
+		view, err = partition.Columnize(*sys.Mem.L2, p.Ways)
+	case PartBanks:
+		view, err = partition.Bankize(*sys.Mem.L2, p.Banks, p.TotalBanks)
+	}
+	if err != nil {
+		return fmt.Errorf("spec: %w", err)
+	}
+	sysP := sys
+	sysP.Mem.L2 = &view
+	as, err := eng.AnalyzeAll(ctx, engine.Requests(tasks, sysP))
+	if err != nil {
+		return err
+	}
+	for i, a := range as {
+		rep.Tasks = append(rep.Tasks, TaskReport{Name: tasks[i].Name, WCET: a.WCET, Classes: a.ClassSummary()})
+	}
+	return nil
+}
+
+func runLock(ctx context.Context, s *Scenario, tasks []core.Task, sys core.SystemConfig, rep *Report) error {
+	l := s.Mode.Lock
+	for _, t := range tasks {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var res *partition.LockResult
+		var err error
+		if l.Policy == LockStatic {
+			res, err = partition.StaticLock(t, sys, l.BudgetLines)
+		} else {
+			res, err = partition.DynamicLock(t, sys, l.BudgetLines)
+		}
+		if err != nil {
+			return fmt.Errorf("spec: lock on task %q: %w", t.Name, err)
+		}
+		rep.Tasks = append(rep.Tasks, TaskReport{Name: t.Name, WCET: res.WCET, LockedLines: len(res.Locked)})
+	}
+	return nil
+}
+
+// buildArbiter materializes the bus arbiter of a validated bus-mode
+// scenario.
+func buildArbiter(s *Scenario) arbiter.Arbiter {
+	b := s.Mode.Bus
+	lat := s.effectiveBusLatency()
+	switch b.Policy {
+	case BusTDMA:
+		slots := make([]arbiter.Slot, len(b.Slots))
+		for i, sl := range b.Slots {
+			slots[i] = arbiter.Slot{Owner: sl.Owner, Len: sl.Len}
+		}
+		return arbiter.NewTDMA(slots, lat)
+	case BusMBBA:
+		return arbiter.NewMultiBandwidth(b.Weights, lat)
+	default: // roundrobin
+		n := b.Cores
+		if n == 0 {
+			n = len(s.Tasks)
+		}
+		return arbiter.NewRoundRobin(n, lat)
+	}
+}
+
+func runBus(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+	arb := buildArbiter(s)
+	reqs := make([]engine.Request, len(tasks))
+	for i, t := range tasks {
+		sysI := sys
+		sysI.Mem.BusDelay = arb.Bound(i)
+		reqs[i] = engine.Request{Task: t, Sys: sysI}
+	}
+	as, err := eng.AnalyzeAll(ctx, reqs)
+	if err != nil {
+		return err
+	}
+	for i, a := range as {
+		rep.Tasks = append(rep.Tasks, TaskReport{
+			Name: tasks[i].Name, WCET: a.WCET, BusBound: arb.Bound(i), Classes: a.ClassSummary(),
+		})
+	}
+	if s.Sim == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	res, err := sim.Run(sim.FromConfig(sys, mem, arb, false, tasks...), simLimit(s, defaultSimCycles))
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, res.Cycles, func(i int) int64 { return res.Stats[i].BusWaitMax })
+	return nil
+}
+
+func runSMT(ctx context.Context, s *Scenario, tasks []core.Task, rep *Report) error {
+	cfg := smt.BarreConfig{Threads: s.Mode.SMT.Threads, FULatency: s.Mode.SMT.FULatency, MemLatency: s.Mode.SMT.MemLatency}
+	bounds := make([]int64, len(tasks))
+	err := engine.ForEach(ctx, 0, len(tasks), func(i int) error {
+		b, err := cfg.AnalyzeWCET(tasks[i].Prog, tasks[i].Facts)
+		bounds[i] = b
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, t := range tasks {
+		rep.Tasks = append(rep.Tasks, TaskReport{Name: t.Name, WCET: bounds[i]})
+	}
+	if s.Sim == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	times, err := cfg.SimulateBarre(progsOf(tasks), uint64(simLimit(s, defaultSMTSteps)))
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, func(i int) int64 { return times[i] }, nil)
+	return nil
+}
+
+func runPret(ctx context.Context, s *Scenario, tasks []core.Task, rep *Report) error {
+	cfg := smt.PretConfig{Threads: s.Mode.PRET.Threads, WheelWindow: s.Mode.PRET.WheelWindow, MemLatency: s.Mode.PRET.MemLatency}
+	bounds := make([]int64, len(tasks))
+	err := engine.ForEach(ctx, 0, len(tasks), func(i int) error {
+		b, err := cfg.AnalyzeWCET(tasks[i].Prog, tasks[i].Facts)
+		// Thread i's first pipeline slot arrives at cycle i, so its
+		// completion time includes that fixed phase offset on top of the
+		// phase-independent per-thread bound.
+		bounds[i] = b + int64(i)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	for i, t := range tasks {
+		rep.Tasks = append(rep.Tasks, TaskReport{Name: t.Name, WCET: bounds[i]})
+	}
+	if s.Sim == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	times, err := cfg.SimulatePret(progsOf(tasks), uint64(simLimit(s, defaultPretSteps)))
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, func(i int) int64 { return times[i] }, nil)
+	return nil
+}
+
+func progsOf(tasks []core.Task) []*isa.Program {
+	out := make([]*isa.Program, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.Prog
+	}
+	return out
+}

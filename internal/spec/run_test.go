@@ -1,0 +1,189 @@
+package spec
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"paratime/internal/core"
+	"paratime/internal/engine"
+	"paratime/internal/interfere"
+	"paratime/internal/partition"
+	"paratime/internal/workload"
+)
+
+func mustScenario(t *testing.T, name string, tasks []core.Task, mode ModeSpec, sim *SimSpec) *Scenario {
+	t.Helper()
+	ts, err := TasksToSpec(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{Spec: Version, Name: name, Tasks: ts, System: DefaultSystemSpec(), Mode: mode, Sim: sim}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRunSoloMatchesDirect: the scenario path must reproduce direct
+// core.Analyze exactly.
+func TestRunSoloMatchesDirect(t *testing.T) {
+	tasks := workload.Suite()[:3]
+	rep, err := Run(context.Background(), mustScenario(t, "solo", tasks, ModeSpec{Kind: KindSolo}, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, task := range tasks {
+		ref, err := core.Analyze(task, core.DefaultSystem())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tasks[i].WCET != ref.WCET {
+			t.Errorf("%s: scenario WCET %d != direct %d", task.Name, rep.Tasks[i].WCET, ref.WCET)
+		}
+	}
+}
+
+// TestRunJointMatchesDirect: the scenario path must reproduce the
+// engine's joint analysis exactly, including solo baselines and deltas.
+func TestRunJointMatchesDirect(t *testing.T) {
+	tasks := workload.Suite()[:3]
+	rep, err := Run(context.Background(),
+		mustScenario(t, "joint", tasks, ModeSpec{Kind: KindJoint, Model: ModelAgeShift}, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := engine.New(0).AnalyzeJoint(context.Background(), tasks, core.DefaultSystem(), interfere.AgeShift)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tasks {
+		if rep.Tasks[i].WCET != want.JointWCET[i] || rep.Tasks[i].SoloWCET != want.SoloWCET[i] {
+			t.Errorf("%s: scenario joint/solo %d/%d != direct %d/%d", tasks[i].Name,
+				rep.Tasks[i].WCET, rep.Tasks[i].SoloWCET, want.JointWCET[i], want.SoloWCET[i])
+		}
+		if rep.Tasks[i].DeltaVsSolo != rep.Tasks[i].WCET-rep.Tasks[i].SoloWCET {
+			t.Errorf("%s: delta inconsistent", tasks[i].Name)
+		}
+	}
+}
+
+// TestRunLockMatchesDirect: the scenario path must reproduce the direct
+// locking analyses exactly.
+func TestRunLockMatchesDirect(t *testing.T) {
+	task := workload.MemCopy(32, workload.Slot(0))
+	for _, policy := range []string{LockStatic, LockDynamic} {
+		rep, err := Run(context.Background(), mustScenario(t, "lock-"+policy, []core.Task{task},
+			ModeSpec{Kind: KindLock, Lock: &LockSpec{Policy: policy, BudgetLines: 16}}, nil), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want *partition.LockResult
+		if policy == LockStatic {
+			want, err = partition.StaticLock(task, core.DefaultSystem(), 16)
+		} else {
+			want, err = partition.DynamicLock(task, core.DefaultSystem(), 16)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tasks[0].WCET != want.WCET || rep.Tasks[0].LockedLines != len(want.Locked) {
+			t.Errorf("%s: scenario %d/%d != direct %d/%d", policy,
+				rep.Tasks[0].WCET, rep.Tasks[0].LockedLines, want.WCET, len(want.Locked))
+		}
+	}
+}
+
+// TestRunBusBoundsMonotonic: more cores on the bus must not tighten the
+// victim's bound, and the reported per-core bound is the arbiter's.
+func TestRunBusBoundsMonotonic(t *testing.T) {
+	tasks := workload.Suite()[:2]
+	prev := int64(0)
+	for _, n := range []int{2, 4, 8} {
+		rep, err := Run(context.Background(), mustScenario(t, "bus", tasks,
+			ModeSpec{Kind: KindBus, Bus: &BusSpec{Policy: BusRoundRobin, Cores: n}}, nil), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Tasks[0].WCET < prev {
+			t.Errorf("n=%d: victim WCET %d shrank below %d", n, rep.Tasks[0].WCET, prev)
+		}
+		prev = rep.Tasks[0].WCET
+	}
+}
+
+// TestRunSimSoundness: every mode that supports simulation validation
+// reports sound bounds on the sample workload.
+func TestRunSimSoundness(t *testing.T) {
+	tasks := workload.Suite()[:2]
+	sim := &SimSpec{MaxCycles: 50_000_000}
+	scs := []*Scenario{
+		mustScenario(t, "solo", tasks, ModeSpec{Kind: KindSolo}, sim),
+		mustScenario(t, "joint", tasks, ModeSpec{Kind: KindJoint, Model: ModelAgeShift}, sim),
+		mustScenario(t, "bus", tasks, ModeSpec{Kind: KindBus, Bus: &BusSpec{Policy: BusRoundRobin}}, sim),
+		mustScenario(t, "smt", tasks, ModeSpec{Kind: KindSMT, SMT: &SMTSpec{Threads: 4, FULatency: 2, MemLatency: 10}}, sim),
+		mustScenario(t, "pret", tasks, ModeSpec{Kind: KindPRET, PRET: &PretSpec{Threads: 6, WheelWindow: 26, MemLatency: 20}}, sim),
+	}
+	for _, sc := range scs {
+		rep, err := Run(context.Background(), sc, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", sc.Name, err)
+		}
+		if len(rep.Sim) != len(tasks) {
+			t.Fatalf("%s: %d sim entries for %d tasks", sc.Name, len(rep.Sim), len(tasks))
+		}
+		for i, sr := range rep.Sim {
+			if !sr.Sound {
+				t.Errorf("%s: task %s UNSOUND: WCET %d < sim %d", sc.Name, rep.Tasks[i].Name, rep.Tasks[i].WCET, sr.Cycles)
+			}
+		}
+	}
+}
+
+// TestRunCanceledContext: a canceled context returns promptly with
+// ctx.Err(), both before and during a run.
+func TestRunCanceledContext(t *testing.T) {
+	tasks := workload.Suite()
+	sc := mustScenario(t, "solo", tasks, ModeSpec{Kind: KindSolo}, &SimSpec{MaxCycles: 500_000_000})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Run(ctx, sc, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-canceled Run returned %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("pre-canceled Run took %v", d)
+	}
+
+	ctx, cancel = context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	_, err = Run(ctx, sc, nil)
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("deadline Run returned %v, want nil or DeadlineExceeded", err)
+	}
+}
+
+// TestReportEncode: the report round-trips through JSON with the schema
+// version stamped.
+func TestReportEncode(t *testing.T) {
+	rep, err := Run(context.Background(),
+		mustScenario(t, "solo", workload.Suite()[:1], ModeSpec{Kind: KindSolo}, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rep.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Spec != Version || len(back.Tasks) != 1 || back.Tasks[0].WCET != rep.Tasks[0].WCET {
+		t.Errorf("report did not round-trip: %+v", back)
+	}
+}

@@ -17,23 +17,33 @@
 // bound.
 //
 // Batches of independent analyses run concurrently through the engine
-// (NewEngine, AnalyzeAll): requests fan out across a bounded worker
-// pool and the expensive analysis prefix is memoized by content, with
-// results bit-identical to the sequential path.
+// (NewEngine, Engine.AnalyzeAll): requests fan out across a bounded
+// worker pool and the expensive analysis prefix is memoized by content,
+// with results bit-identical to the sequential path.
 //
-// Quick start:
+// The primary entry point is the Scenario API: a Scenario declaratively
+// captures an entire analysis request — tasks, system configuration,
+// sharing regime, optional simulation validation — with lossless JSON
+// encoding and strict validation, and Run executes it under a
+// context.Context:
 //
-//	prog := paratime.MustAssemble("demo", `
+//	sc := &paratime.Scenario{
+//	        Spec: paratime.SpecVersion,
+//	        Name: "quickstart",
+//	        Tasks: []paratime.ScenarioTask{{Name: "demo", Source: `
 //	        li   r1, 10
 //	loop:   addi r1, r1, -1
 //	        bne  r1, r0, loop
-//	        halt`)
-//	a, err := paratime.Analyze(paratime.Task{Name: "demo", Prog: prog},
-//	        paratime.DefaultSystem())
-//	fmt.Println(a.WCET)
+//	        halt`}},
+//	        System: paratime.DefaultScenarioSystem(),
+//	        Mode:   paratime.ScenarioMode{Kind: paratime.ModeSolo},
+//	}
+//	rep, err := paratime.Run(context.Background(), sc)
+//	fmt.Println(rep.Tasks[0].WCET)
 package paratime
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -47,6 +57,7 @@ import (
 	"paratime/internal/memctrl"
 	"paratime/internal/pipeline"
 	"paratime/internal/sim"
+	"paratime/internal/spec"
 	"paratime/internal/workload"
 )
 
@@ -76,6 +87,79 @@ type (
 	SimResult = sim.Result
 )
 
+// Scenario API v1: declarative, serializable analysis requests with one
+// context-aware entry point. See internal/spec for the schema.
+type (
+	// Scenario declaratively captures one complete analysis request.
+	Scenario = spec.Scenario
+	// ScenarioTask describes one task of a Scenario.
+	ScenarioTask = spec.TaskSpec
+	// ScenarioSystem describes a Scenario's core and memory hierarchy.
+	ScenarioSystem = spec.SystemSpec
+	// ScenarioMode selects a Scenario's resource-sharing regime.
+	ScenarioMode = spec.ModeSpec
+	// ScenarioSim requests cycle-accurate validation alongside analysis.
+	ScenarioSim = spec.SimSpec
+	// ScenarioPartition selects an L2 partitioning scheme (mode partition).
+	ScenarioPartition = spec.PartitionSpec
+	// ScenarioLock selects a cache-locking policy (mode lock).
+	ScenarioLock = spec.LockSpec
+	// ScenarioBus describes a shared-bus arbitration regime (mode bus).
+	ScenarioBus = spec.BusSpec
+	// ScenarioSlot is one TDMA slot-table entry.
+	ScenarioSlot = spec.SlotSpec
+	// ScenarioSMT parameterizes the partitioned-queue SMT core (mode smt).
+	ScenarioSMT = spec.SMTSpec
+	// ScenarioPRET parameterizes the PRET interleaved core (mode pret).
+	ScenarioPRET = spec.PretSpec
+	// Report is the structured, JSON-encodable result of Run.
+	Report = spec.Report
+	// TaskReport is one task's outcome within a Report.
+	TaskReport = spec.TaskReport
+)
+
+// SpecVersion is the Scenario schema version this build speaks.
+const SpecVersion = spec.Version
+
+// Scenario mode kinds (resource-sharing regimes, survey §3–§5).
+const (
+	ModeSolo      = spec.KindSolo
+	ModeJoint     = spec.KindJoint
+	ModePartition = spec.KindPartition
+	ModeLock      = spec.KindLock
+	ModeBus       = spec.KindBus
+	ModeSMT       = spec.KindSMT
+	ModePRET      = spec.KindPRET
+)
+
+// Run executes one scenario on the shared default engine: validation,
+// analysis dispatch, optional simulation cross-check, structured report.
+// Cancelling ctx makes Run return promptly with ctx.Err().
+func Run(ctx context.Context, sc *Scenario) (*Report, error) {
+	return spec.Run(ctx, sc, defaultEngine())
+}
+
+// DecodeScenario parses and validates one scenario from JSON.
+func DecodeScenario(data []byte) (*Scenario, error) { return spec.Decode(data) }
+
+// DecodeScenarios parses a single scenario object or a JSON array of
+// scenarios (the `paratime export` format).
+func DecodeScenarios(data []byte) ([]*Scenario, error) { return spec.DecodeAll(data) }
+
+// DefaultScenarioSystem returns the canonical default system in Scenario
+// form.
+func DefaultScenarioSystem() ScenarioSystem { return spec.DefaultSystemSpec() }
+
+// ScenarioSystemOf externalizes a SystemConfig (e.g. one assembled with
+// NewSystem) into Scenario form, paired with the default memory device.
+func ScenarioSystemOf(sys SystemConfig) ScenarioSystem {
+	return spec.SystemToSpec(sys, memctrl.DefaultConfig())
+}
+
+// ScenarioTaskOf externalizes a prebuilt task (program plus loop-bound
+// annotations) into Scenario form.
+func ScenarioTaskOf(t Task) (ScenarioTask, error) { return spec.TaskToSpec(t) }
+
 // Assemble parses assembler text into a Program (see isa.Assemble for the
 // syntax).
 func Assemble(name, src string) (*Program, error) { return isa.Assemble(name, src) }
@@ -86,12 +170,73 @@ func MustAssemble(name, src string) *Program { return isa.MustAssemble(name, src
 // NewFacts returns an empty annotation set.
 func NewFacts() *Facts { return flow.NewFacts() }
 
-// DefaultSystem returns a small embedded configuration with private L1s,
-// a unified L2, and an analyzable closed-page memory controller bound.
-func DefaultSystem() SystemConfig {
+// DefaultSystem returns the canonical small embedded configuration:
+// private L1s, a unified L2, and an analyzable closed-page memory
+// controller bound.
+func DefaultSystem() SystemConfig { return core.DefaultSystem() }
+
+// SystemOption customizes one aspect of a system configuration built by
+// NewSystem.
+type SystemOption func(*SystemConfig)
+
+// NewSystem assembles a system configuration from the canonical default
+// plus options, replacing hand-mutated SystemConfig structs:
+//
+//	sys := paratime.NewSystem(
+//	        paratime.WithL1I(paratime.CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}),
+//	        paratime.WithSharedL2(paratime.CacheConfig{Sets: 64, Ways: 1, LineBytes: 32, HitLatency: 4}),
+//	)
+func NewSystem(opts ...SystemOption) SystemConfig {
 	sys := core.DefaultSystem()
-	sys.Mem.MemLatency = memctrl.DefaultConfig().Bound()
+	for _, opt := range opts {
+		opt(&sys)
+	}
 	return sys
+}
+
+// WithPipeline overrides the pipeline timing parameterization.
+func WithPipeline(pc pipeline.Config) SystemOption {
+	return func(s *SystemConfig) { s.Pipeline = pc }
+}
+
+// WithL1I overrides the instruction-cache geometry; the canonical name
+// "L1I" is applied.
+func WithL1I(c CacheConfig) SystemOption {
+	return func(s *SystemConfig) { c.Name = "L1I"; s.Mem.L1I = c }
+}
+
+// WithL1D overrides the data-cache geometry; the canonical name "L1D" is
+// applied.
+func WithL1D(c CacheConfig) SystemOption {
+	return func(s *SystemConfig) { c.Name = "L1D"; s.Mem.L1D = c }
+}
+
+// WithSharedL2 overrides the unified second level; the canonical name
+// "L2" is applied.
+func WithSharedL2(c CacheConfig) SystemOption {
+	return func(s *SystemConfig) { c.Name = "L2"; s.Mem.L2 = &c }
+}
+
+// WithoutL2 removes the second level: L1 misses go straight to memory.
+func WithoutL2() SystemOption {
+	return func(s *SystemConfig) { s.Mem.L2 = nil }
+}
+
+// WithArbitrationDelay sets a fixed worst-case bus-arbitration delay per
+// transaction (an arbiter bound such as N·L−1).
+func WithArbitrationDelay(d int) SystemOption {
+	return func(s *SystemConfig) { s.Mem.BusDelay = d }
+}
+
+// WithMemController derives the worst-case memory latency from an
+// analyzable memory-controller configuration.
+func WithMemController(mem MemConfig) SystemOption {
+	return func(s *SystemConfig) { s.Mem.MemLatency = mem.Bound() }
+}
+
+// WithMemLatency sets the worst-case main-memory access bound directly.
+func WithMemLatency(n int) SystemOption {
+	return func(s *SystemConfig) { s.Mem.MemLatency = n }
 }
 
 // Analyze runs the complete static WCET analysis of one task.
@@ -129,8 +274,12 @@ func DefaultEngine() *Engine { return defaultEngine() }
 
 // AnalyzeAll analyzes every task under one system configuration on the
 // shared default engine, returning analyses in task order.
+//
+// Deprecated: build a Scenario with Mode{Kind: ModeSolo} and call Run,
+// or use Engine.AnalyzeAll for context-aware batch analysis. Kept as a
+// thin wrapper for source compatibility.
 func AnalyzeAll(tasks []Task, sys SystemConfig) ([]*Analysis, error) {
-	return defaultEngine().AnalyzeAll(engine.Requests(tasks, sys))
+	return defaultEngine().AnalyzeAll(context.Background(), engine.Requests(tasks, sys))
 }
 
 // Arbiters.
@@ -149,6 +298,10 @@ func NewMultiBandwidthBus(weights []int, lat int) *arbiter.TDMA {
 
 // TransactionLatency returns the bus occupancy covering one full memory
 // round trip for the given system (L2 lookup plus worst-case memory).
+//
+// Deprecated: a Scenario with Mode{Kind: ModeBus} derives this latency
+// itself when the bus spec leaves Latency zero. Kept as a thin wrapper
+// for source compatibility.
 func TransactionLatency(sys SystemConfig, mem MemConfig) int {
 	l := mem.Bound()
 	if sys.Mem.L2 != nil {
@@ -159,6 +312,10 @@ func TransactionLatency(sys SystemConfig, mem MemConfig) int {
 
 // WithBusDelay returns a copy of the system configuration carrying the
 // arbitration bound as the per-transaction BusDelay.
+//
+// Deprecated: use NewSystem with WithArbitrationDelay, or a Scenario
+// with Mode{Kind: ModeBus}, which derives per-core bounds from the
+// arbiter. Kept as a thin wrapper for source compatibility.
 func WithBusDelay(sys SystemConfig, d int) SystemConfig {
 	sys.Mem.BusDelay = d
 	return sys
@@ -169,17 +326,7 @@ func WithBusDelay(sys SystemConfig, d int) SystemConfig {
 // BuildSim assembles a multicore simulation where every core runs one
 // task under the same core/memory configuration.
 func BuildSim(sys SystemConfig, mem MemConfig, bus Arbiter, sharedL2 bool, tasks ...Task) SimSystem {
-	s := sim.System{L2: sys.Mem.L2, SharedL2: sharedL2, Bus: bus, Mem: mem}
-	for _, t := range tasks {
-		s.Cores = append(s.Cores, sim.CoreConfig{
-			Name: t.Name,
-			Prog: t.Prog,
-			Pipe: sys.Pipeline,
-			L1I:  sys.Mem.L1I,
-			L1D:  sys.Mem.L1D,
-		})
-	}
-	return s
+	return sim.FromConfig(sys, mem, bus, sharedL2, tasks...)
 }
 
 // Simulate runs a simulation to completion.
@@ -201,8 +348,11 @@ const (
 // AnalyzeJoint computes solo and conflict-aware WCETs for co-scheduled
 // tasks sharing the system's L2. The per-task preparation runs on the
 // shared default engine's worker pool.
+//
+// Deprecated: build a Scenario with Mode{Kind: ModeJoint} and call Run.
+// Kept as a thin wrapper for source compatibility.
 func AnalyzeJoint(tasks []Task, sys SystemConfig, model ConflictModel) (*interfere.JointResult, error) {
-	return defaultEngine().AnalyzeJoint(tasks, sys, model)
+	return defaultEngine().AnalyzeJoint(context.Background(), tasks, sys, model)
 }
 
 // Workload.

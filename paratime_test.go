@@ -1,6 +1,7 @@
 package paratime
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -42,21 +43,33 @@ func TestFacadeSuiteAndBench(t *testing.T) {
 }
 
 func TestFacadeJoint(t *testing.T) {
-	sys := DefaultSystem()
-	res, err := AnalyzeJoint(Suite()[:3], sys, AgeShift)
+	tasks := Suite()[:3]
+	specTasks := make([]ScenarioTask, len(tasks))
+	for i, task := range tasks {
+		st, err := ScenarioTaskOf(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specTasks[i] = st
+	}
+	rep, err := Run(context.Background(), &Scenario{
+		Spec: SpecVersion, Name: "joint", Tasks: specTasks,
+		System: DefaultScenarioSystem(),
+		Mode:   ScenarioMode{Kind: ModeJoint, Model: "ageshift"},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.Names {
-		if res.JointWCET[i] < res.SoloWCET[i] {
-			t.Errorf("joint %d below solo %d", res.JointWCET[i], res.SoloWCET[i])
+	for _, tr := range rep.Tasks {
+		if tr.WCET < tr.SoloWCET {
+			t.Errorf("joint %d below solo %d", tr.WCET, tr.SoloWCET)
 		}
 	}
 }
 
 func TestFacadeArbiters(t *testing.T) {
 	sys := DefaultSystem()
-	lat := TransactionLatency(sys, DefaultMemConfig())
+	lat := DefaultMemConfig().Bound() + sys.Mem.L2.HitLatency // one full memory round trip
 	rr := NewRoundRobinBus(4, lat)
 	if rr.Bound(0) != 4*lat-1 {
 		t.Errorf("rr bound = %d, want N*L-1 = %d", rr.Bound(0), 4*lat-1)
@@ -70,10 +83,30 @@ func TestFacadeArbiters(t *testing.T) {
 	}
 }
 
-func TestWithBusDelayDoesNotMutate(t *testing.T) {
-	sys := DefaultSystem()
-	_ = WithBusDelay(sys, 99)
-	if sys.Mem.BusDelay != 0 {
-		t.Error("WithBusDelay mutated its argument")
+func TestNewSystemOptions(t *testing.T) {
+	small := CacheConfig{Sets: 4, Ways: 1, LineBytes: 16, HitLatency: 1}
+	sys := NewSystem(
+		WithL1I(small),
+		WithSharedL2(CacheConfig{Sets: 16, Ways: 2, LineBytes: 32, HitLatency: 4}),
+		WithArbitrationDelay(7),
+		WithMemLatency(33),
+	)
+	if sys.Mem.L1I.Sets != 4 || sys.Mem.L1I.Name != "L1I" {
+		t.Errorf("WithL1I not applied: %+v", sys.Mem.L1I)
+	}
+	if sys.Mem.L2 == nil || sys.Mem.L2.Sets != 16 || sys.Mem.L2.Name != "L2" {
+		t.Errorf("WithSharedL2 not applied: %+v", sys.Mem.L2)
+	}
+	if sys.Mem.BusDelay != 7 || sys.Mem.MemLatency != 33 {
+		t.Errorf("delay options not applied: %+v", sys.Mem)
+	}
+	if def := DefaultSystem(); def.Mem.BusDelay != 0 {
+		t.Error("NewSystem mutated the shared default")
+	}
+	if NewSystem(WithoutL2()).Mem.L2 != nil {
+		t.Error("WithoutL2 not applied")
+	}
+	if got, want := NewSystem(WithMemController(DefaultMemConfig())).Mem.MemLatency, DefaultMemConfig().Bound(); got != want {
+		t.Errorf("WithMemController latency %d, want %d", got, want)
 	}
 }
