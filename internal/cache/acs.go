@@ -1,8 +1,8 @@
 package cache
 
 import (
+	"bytes"
 	"fmt"
-	"sort"
 	"strings"
 )
 
@@ -15,108 +15,131 @@ const (
 	May                 // ages are lower bounds; absence ⇒ guaranteed not cached
 )
 
-// ACS is an abstract cache state: per set, a map from line to abstract
-// age in [0, Ways). For Must states a mapped line is guaranteed resident
-// with age at most the mapped value; for May states a mapped line may be
-// resident with age at least the mapped value, and an unmapped line is
-// guaranteed absent — unless the state is poisoned.
+// ACS is an abstract cache state over an interned line Index: a flat age
+// vector with one byte per interned line, where the value is the
+// abstract age in [0, Ways) and Ways is the "absent" sentinel. For Must
+// states a present line is guaranteed resident with age at most the
+// stored value; for May states a present line may be resident with age
+// at least the stored value, and an absent line is guaranteed not
+// cached — unless the state is poisoned.
 //
 // Poisoned applies to May states only: after an access whose target set
 // is unknown, any line anywhere may be cached, so absence proves nothing
 // and ALWAYS_MISS classification is disabled.
+//
+// The dense layout makes Join/Access/Equal branch-light linear loops
+// over contiguous memory and Clone/CopyFrom a single copy, which is what
+// lets the fixpoint iterate without allocating.
 type ACS struct {
-	cfg      Config
+	idx      *Index
 	kind     ACSKind
-	sets     []map[LineID]int
+	age      []uint8 // per slot; == absent() means not in the state
 	Poisoned bool
+
+	// scratch backs AccessUncertain's access-vs-skip join; it is lazily
+	// allocated, reused across calls, and never copied or compared.
+	scratch []uint8
 }
 
-// NewACS returns the initial state: for Must the empty cache contains
-// nothing guaranteed; for May an *empty* map means "nothing can be
-// cached", which is correct at task start (cold or unknown-but-invisible
-// cache: WCET analysis of an isolated task assumes no useful content, and
-// a truly unknown initial state is modelled by poisoning).
-func NewACS(cfg Config, kind ACSKind) *ACS {
-	s := &ACS{cfg: cfg, kind: kind, sets: make([]map[LineID]int, cfg.Sets)}
-	for i := range s.sets {
-		s.sets[i] = map[LineID]int{}
+// NewACS returns the initial state over an index: for Must the empty
+// cache contains nothing guaranteed; for May an *empty* state means
+// "nothing can be cached", which is correct at task start (cold or
+// unknown-but-invisible cache: WCET analysis of an isolated task assumes
+// no useful content, and a truly unknown initial state is modelled by
+// poisoning).
+func NewACS(idx *Index, kind ACSKind) *ACS {
+	a := &ACS{idx: idx, kind: kind, age: make([]uint8, idx.NumSlots())}
+	a.Reset()
+	return a
+}
+
+// absent is the sentinel age marking a line as not in the state.
+func (a *ACS) absent() uint8 { return uint8(a.idx.cfg.Ways) }
+
+// Reset restores the initial (empty, unpoisoned) state.
+func (a *ACS) Reset() {
+	ab := a.absent()
+	for i := range a.age {
+		a.age[i] = ab
 	}
-	return s
+	a.Poisoned = false
 }
 
 // Clone deep-copies the state.
 func (a *ACS) Clone() *ACS {
-	out := &ACS{cfg: a.cfg, kind: a.kind, sets: make([]map[LineID]int, len(a.sets)), Poisoned: a.Poisoned}
-	for i, m := range a.sets {
-		c := make(map[LineID]int, len(m))
-		for l, age := range m {
-			c[l] = age
-		}
-		out.sets[i] = c
+	return &ACS{
+		idx:      a.idx,
+		kind:     a.kind,
+		age:      bytes.Clone(a.age),
+		Poisoned: a.Poisoned,
 	}
-	return out
 }
 
-// Equal compares two states (same kind and geometry assumed).
+// CopyFrom overwrites the state with b's content (same index and kind).
+func (a *ACS) CopyFrom(b *ACS) {
+	copy(a.age, b.age)
+	a.Poisoned = b.Poisoned
+}
+
+// Equal compares two states (same kind and index assumed).
 func (a *ACS) Equal(b *ACS) bool {
-	if a.Poisoned != b.Poisoned {
-		return false
-	}
-	for i := range a.sets {
-		if len(a.sets[i]) != len(b.sets[i]) {
-			return false
-		}
-		for l, age := range a.sets[i] {
-			if bage, ok := b.sets[i][l]; !ok || bage != age {
-				return false
-			}
-		}
-	}
-	return true
+	return a.Poisoned == b.Poisoned && bytes.Equal(a.age, b.age)
 }
 
-// Contains reports whether the line is mapped (meaning depends on kind).
+// slotOf returns the interned slot of a line, panicking on lines outside
+// the index (a programming error: states only ever see stream lines).
+func (a *ACS) slotOf(l LineID) int32 {
+	slot, ok := a.idx.SlotOf(l)
+	if !ok {
+		panic(fmt.Sprintf("cache: line %d not interned in index", l))
+	}
+	return slot
+}
+
+// Contains reports whether the line is in the state (meaning depends on
+// kind). Lines outside the index are never in the state.
 func (a *ACS) Contains(l LineID) bool {
-	_, ok := a.sets[a.cfg.SetOf(l)][l]
-	return ok
+	slot, ok := a.idx.SlotOf(l)
+	return ok && a.age[slot] < a.absent()
 }
 
-// Age returns the mapped age, or Ways if absent.
+// Age returns the line's abstract age, or Ways if absent.
 func (a *ACS) Age(l LineID) int {
-	if age, ok := a.sets[a.cfg.SetOf(l)][l]; ok {
-		return age
+	if slot, ok := a.idx.SlotOf(l); ok {
+		return int(a.age[slot])
 	}
-	return a.cfg.Ways
+	return a.idx.cfg.Ways
 }
 
 // Join combines two states flowing into the same program point:
 // Must join keeps lines present in both at their maximum age;
 // May join keeps lines present in either at their minimum age.
 func (a *ACS) Join(b *ACS) *ACS {
-	out := NewACS(a.cfg, a.kind)
-	out.Poisoned = a.Poisoned || b.Poisoned
-	switch a.kind {
-	case Must:
-		for i := range a.sets {
-			for l, age := range a.sets[i] {
-				if bage, ok := b.sets[i][l]; ok {
-					out.sets[i][l] = maxInt(age, bage)
-				}
+	out := a.Clone()
+	out.JoinInPlace(b)
+	return out
+}
+
+// JoinInPlace folds b into a. With absent == Ways and present ages
+// strictly below it, the Must join is an element-wise max (either side
+// absent ⇒ max is the sentinel ⇒ absent) and the May join an
+// element-wise min (either side present ⇒ min is a real age).
+func (a *ACS) JoinInPlace(b *ACS) {
+	av, bv := a.age, b.age
+	if a.kind == Must {
+		for i, x := range bv {
+			if x > av[i] {
+				av[i] = x
 			}
 		}
-	case May:
-		for i := range a.sets {
-			for l, age := range a.sets[i] {
-				out.sets[i][l] = age
-			}
-			for l, bage := range b.sets[i] {
-				if age, ok := out.sets[i][l]; !ok || bage < age {
-					out.sets[i][l] = bage
-				}
+	} else {
+		for i, x := range bv {
+			if x < av[i] {
+				av[i] = x
 			}
 		}
 	}
-	return out
+	a.Poisoned = a.Poisoned || b.Poisoned
 }
 
 // Access applies the LRU transfer function for a precise access to line l.
@@ -127,34 +150,51 @@ func (a *ACS) Join(b *ACS) *ACS {
 //
 // May: the accessed line moves to age 0; lines whose lower-bound age is
 // strictly below l's previous lower-bound age get one older.
-func (a *ACS) Access(l LineID) {
-	s := a.cfg.SetOf(l)
-	m := a.sets[s]
-	old, ok := m[l]
-	if !ok {
-		old = a.cfg.Ways // treated as "older than everything"
-	}
-	for x, age := range m {
-		if x != l && age < old {
-			if age+1 >= a.cfg.Ways && a.kind == Must {
-				delete(m, x)
-			} else if age+1 >= a.cfg.Ways && a.kind == May {
-				delete(m, x)
-			} else {
-				m[x] = age + 1
-			}
+func (a *ACS) Access(l LineID) { a.accessSlot(a.slotOf(l)) }
+
+func (a *ACS) accessSlot(slot int32) {
+	lo, hi := a.idx.setRange(a.idx.setOfSlot(slot))
+	v := a.age[lo:hi]
+	old := a.age[slot]
+	// Every aged line had age < old <= Ways, so age+1 <= Ways: reaching
+	// Ways IS eviction under the sentinel encoding — no clamp needed.
+	for i, x := range v {
+		if x < old && int32(i)+lo != slot {
+			v[i] = x + 1
 		}
 	}
-	m[l] = 0
+	a.age[slot] = 0
 }
 
 // AccessUncertain applies an access that may or may not happen (used for
 // L2 analysis under an Uncertain cache-access classification, Hardy &
 // Puaut style): the result is the join of accessing and not accessing.
-func (a *ACS) AccessUncertain(l LineID) {
-	upd := a.Clone()
-	upd.Access(l)
-	*a = *a.Join(upd)
+func (a *ACS) AccessUncertain(l LineID) { a.accessUncertainSlot(a.slotOf(l)) }
+
+func (a *ACS) accessUncertainSlot(slot int32) {
+	lo, hi := a.idx.setRange(a.idx.setOfSlot(slot))
+	if a.scratch == nil {
+		a.scratch = make([]uint8, len(a.age))
+	}
+	// Only the accessed line's set changes, so save it, apply the access,
+	// and join the two versions of just that range.
+	sv := a.scratch[lo:hi]
+	copy(sv, a.age[lo:hi])
+	a.accessSlot(slot)
+	v := a.age[lo:hi]
+	if a.kind == Must {
+		for i, x := range sv {
+			if x > v[i] {
+				v[i] = x
+			}
+		}
+	} else {
+		for i, x := range sv {
+			if x < v[i] {
+				v[i] = x
+			}
+		}
+	}
 }
 
 // AccessImprecise applies an access known to touch exactly one of the
@@ -165,26 +205,18 @@ func (a *ACS) AccessUncertain(l LineID) {
 func (a *ACS) AccessImprecise(lines []LineID) {
 	switch a.kind {
 	case Must:
-		touched := map[int]bool{}
+		aged := make(map[int]struct{}, 8)
 		for _, l := range lines {
-			touched[a.cfg.SetOf(l)] = true
-		}
-		for s := range touched {
-			m := a.sets[s]
-			for x, age := range m {
-				if age+1 >= a.cfg.Ways {
-					delete(m, x)
-				} else {
-					m[x] = age + 1
-				}
+			s := a.idx.cfg.SetOf(l)
+			if _, done := aged[s]; done {
+				continue
 			}
+			aged[s] = struct{}{}
+			a.ageSetRange(s, 1)
 		}
 	case May:
 		for _, l := range lines {
-			m := a.sets[a.cfg.SetOf(l)]
-			if age, ok := m[l]; !ok || age > 0 {
-				m[l] = 0
-			}
+			a.age[a.slotOf(l)] = 0
 		}
 	}
 }
@@ -194,14 +226,10 @@ func (a *ACS) AccessImprecise(lines []LineID) {
 func (a *ACS) AccessUnknown() {
 	switch a.kind {
 	case Must:
-		for s := range a.sets {
-			m := a.sets[s]
-			for x, age := range m {
-				if age+1 >= a.cfg.Ways {
-					delete(m, x)
-				} else {
-					m[x] = age + 1
-				}
+		ab := a.absent()
+		for i, x := range a.age {
+			if x < ab {
+				a.age[i] = x + 1
 			}
 		}
 	case May:
@@ -216,14 +244,10 @@ func (a *ACS) AgeAll(n int) {
 	if n <= 0 {
 		return
 	}
-	for s := range a.sets {
-		m := a.sets[s]
-		for x, age := range m {
-			if age+n >= a.cfg.Ways {
-				delete(m, x)
-			} else {
-				m[x] = age + n
-			}
+	ab := a.absent()
+	for i, x := range a.age {
+		if x < ab {
+			a.age[i] = uint8(min(int(x)+n, int(ab)))
 		}
 	}
 }
@@ -233,12 +257,16 @@ func (a *ACS) AgeSet(s, n int) {
 	if n <= 0 {
 		return
 	}
-	m := a.sets[s]
-	for x, age := range m {
-		if age+n >= a.cfg.Ways {
-			delete(m, x)
-		} else {
-			m[x] = age + n
+	a.ageSetRange(s, n)
+}
+
+func (a *ACS) ageSetRange(s, n int) {
+	lo, hi := a.idx.setRange(s)
+	v := a.age[lo:hi]
+	ab := a.absent()
+	for i, x := range v {
+		if x < ab {
+			v[i] = uint8(min(int(x)+n, int(ab)))
 		}
 	}
 }
@@ -246,10 +274,17 @@ func (a *ACS) AgeSet(s, n int) {
 // EvictSet removes every line of one set (direct-mapped conflict
 // modelling: a conflicting task may have replaced the set's content).
 func (a *ACS) EvictSet(s int) {
-	a.sets[s] = map[LineID]int{}
+	lo, hi := a.idx.setRange(s)
+	v := a.age[lo:hi]
+	ab := a.absent()
+	for i := range v {
+		v[i] = ab
+	}
 }
 
-// String renders the state compactly for debugging.
+// String renders the state compactly for debugging: sets in ascending
+// order, lines ascending within each set — deterministic by construction
+// (the index groups slots by set and sorts them by line).
 func (a *ACS) String() string {
 	var sb strings.Builder
 	kind := "must"
@@ -257,18 +292,19 @@ func (a *ACS) String() string {
 		kind = "may"
 	}
 	fmt.Fprintf(&sb, "%s{", kind)
-	for s, m := range a.sets {
-		if len(m) == 0 {
-			continue
-		}
-		lines := make([]LineID, 0, len(m))
-		for l := range m {
-			lines = append(lines, l)
-		}
-		sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
-		fmt.Fprintf(&sb, " s%d:", s)
-		for _, l := range lines {
-			fmt.Fprintf(&sb, "%d@%d ", l, m[l])
+	ab := a.absent()
+	for s := 0; s < a.idx.cfg.Sets; s++ {
+		lo, hi := a.idx.setRange(s)
+		header := false
+		for slot := lo; slot < hi; slot++ {
+			if a.age[slot] >= ab {
+				continue
+			}
+			if !header {
+				fmt.Fprintf(&sb, " s%d:", s)
+				header = true
+			}
+			fmt.Fprintf(&sb, "%d@%d ", a.idx.LineAt(slot), a.age[slot])
 		}
 	}
 	if a.Poisoned {
@@ -276,11 +312,4 @@ func (a *ACS) String() string {
 	}
 	sb.WriteString("}")
 	return sb.String()
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

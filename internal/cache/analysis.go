@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"slices"
 
 	"paratime/internal/cfg"
 	"paratime/internal/flow"
@@ -127,6 +128,14 @@ type RefClass struct {
 	Scope *cfg.Loop
 }
 
+// loopPersist is one loop's persistence profile: per set, the number of
+// distinct lines the loop's level-reaching references map to it. A
+// poisoned loop (an Unknown reference inside it) proves nothing.
+type loopPersist struct {
+	counts   []int32
+	poisoned bool
+}
+
 // Result is the outcome of one cache-level analysis.
 type Result struct {
 	Cfg     Config
@@ -134,17 +143,19 @@ type Result struct {
 	MustIn  map[cfg.BlockID]*ACS
 	MayIn   map[cfg.BlockID]*ACS
 
-	// persistent[loop][set] reports whether the set's conflict count
-	// within the loop fits the associativity.
-	persistent map[*cfg.Loop]map[int]bool
-	// perSetLines[loop][set] is the distinct-line count behind persistent.
-	perSetLines map[*cfg.Loop]map[int]int
+	// idx interns the stream's touched lines; every ACS of this result is
+	// a dense age vector over it. Immutable, shared with all clones.
+	idx *Index
+
+	// persist holds each loop's per-set distinct-line counts, behind the
+	// persistence classification.
+	persist map[*cfg.Loop]loopPersist
 
 	// retained inputs, so interference analyses can reclassify.
 	g      *cfg.Graph
 	stream *Stream
 	cac    map[RefID]CAC // nil for single-level analyses
-	shift  map[int]int   // interference age shift per set (see Reclassify)
+	shift  []int         // interference age shift per set (see Reclassify)
 }
 
 // CountClasses tallies classifications (reporting helper).
@@ -156,37 +167,14 @@ func (r *Result) CountClasses() map[Class]int {
 	return out
 }
 
-// transfer applies one reference to a (must or may) state.
-func transfer(a *ACS, r Ref, cacheCfg Config) {
-	switch {
-	case r.Exact:
-		a.Access(cacheCfg.LineOf(r.Addr))
-	case r.Unknown:
-		a.AccessUnknown()
-	default:
-		a.AccessImprecise(cacheCfg.LinesOf(r.Addrs))
-	}
-}
+// Index returns the interned-line index the result's states are built
+// over.
+func (r *Result) Index() *Index { return r.idx }
 
 // Analyze runs Must, May and Persistence analyses for one cache level
 // over the given reference stream and classifies every reference.
 func Analyze(g *cfg.Graph, st *Stream, cacheCfg Config) (*Result, error) {
-	if err := cacheCfg.Validate(); err != nil {
-		return nil, err
-	}
-	res := &Result{
-		Cfg:     cacheCfg,
-		Classes: map[RefID]RefClass{},
-		MustIn:  map[cfg.BlockID]*ACS{},
-		MayIn:   map[cfg.BlockID]*ACS{},
-		g:       g,
-		stream:  st,
-	}
-	res.runFixpoint(g, st, Must, res.MustIn)
-	res.runFixpoint(g, st, May, res.MayIn)
-	res.computePersistence(g, st)
-	res.classify(g, st)
-	return res, nil
+	return AnalyzeWithCAC(g, st, cacheCfg, nil)
 }
 
 // MustAnalyze panics on configuration errors (test/fixture helper).
@@ -198,89 +186,41 @@ func MustAnalyze(g *cfg.Graph, st *Stream, cacheCfg Config) *Result {
 	return r
 }
 
-func (res *Result) runFixpoint(g *cfg.Graph, st *Stream, kind ACSKind, inStates map[cfg.BlockID]*ACS) {
-	blocks := g.RPO()
-	out := map[cfg.BlockID]*ACS{}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range blocks {
-			var in *ACS
-			if b == g.Entry {
-				in = NewACS(res.Cfg, kind)
-			} else {
-				for _, e := range b.Preds {
-					p, ok := out[e.From.ID]
-					if !ok {
-						continue // unvisited predecessor (back edge, first pass)
-					}
-					if in == nil {
-						in = p.Clone()
-					} else {
-						in = in.Join(p)
-					}
-				}
-				if in == nil {
-					continue // all predecessors unvisited so far
-				}
-			}
-			o := in.Clone()
-			for _, r := range st.Refs[b.ID] {
-				transfer(o, r, res.Cfg)
-			}
-			prevIn, okIn := inStates[b.ID]
-			prevOut, okOut := out[b.ID]
-			if !okIn || !prevIn.Equal(in) || !okOut || !prevOut.Equal(o) {
-				inStates[b.ID] = in
-				out[b.ID] = o
-				changed = true
-			}
-		}
-	}
-}
-
 // computePersistence counts, for every loop scope and cache set, the
-// distinct lines referenced within the scope. A set whose conflict count
-// fits the associativity keeps any loaded line resident for the rest of
-// the scope (LRU guarantee), making its references persistent.
-func (res *Result) computePersistence(g *cfg.Graph, st *Stream) {
-	res.persistent = map[*cfg.Loop]map[int]bool{}
-	res.perSetLines = map[*cfg.Loop]map[int]int{}
+// distinct lines referenced within the scope (restricted to references
+// that may reach this level). A set whose conflict count fits the
+// associativity keeps any loaded line resident for the rest of the
+// scope (LRU guarantee), making its references persistent.
+func (res *Result) computePersistence(g *cfg.Graph, ops [][]refOp) {
+	res.persist = make(map[*cfg.Loop]loopPersist, len(g.Loops))
+	marks := make([]bool, res.idx.NumSlots())
 	for _, l := range g.Loops {
-		linesPerSet := map[int]map[LineID]bool{}
+		clear(marks)
 		poisoned := false
 		for _, b := range l.Blocks {
-			for _, r := range st.Refs[b.ID] {
+			for _, op := range ops[int(b.ID)] {
 				switch {
-				case r.Exact:
-					ln := res.Cfg.LineOf(r.Addr)
-					s := res.Cfg.SetOf(ln)
-					if linesPerSet[s] == nil {
-						linesPerSet[s] = map[LineID]bool{}
-					}
-					linesPerSet[s][ln] = true
-				case r.Unknown:
+				case op.cac == Never:
+				case op.unknown:
 					poisoned = true
+				case op.slot >= 0:
+					marks[op.slot] = true
 				default:
-					for _, ln := range res.Cfg.LinesOf(r.Addrs) {
-						s := res.Cfg.SetOf(ln)
-						if linesPerSet[s] == nil {
-							linesPerSet[s] = map[LineID]bool{}
-						}
-						linesPerSet[s][ln] = true
+					for _, slot := range op.slots {
+						marks[slot] = true
 					}
 				}
 			}
 		}
-		ps := map[int]bool{}
-		counts := map[int]int{}
+		lp := loopPersist{counts: make([]int32, res.Cfg.Sets), poisoned: poisoned}
 		if !poisoned {
-			for s, lines := range linesPerSet {
-				ps[s] = len(lines) <= res.Cfg.Ways
-				counts[s] = len(lines)
+			for slot, m := range marks {
+				if m {
+					lp.counts[res.idx.setOfSlot(int32(slot))]++
+				}
 			}
 		}
-		res.persistent[l] = ps
-		res.perSetLines[l] = counts
+		res.persist[l] = lp
 	}
 }
 
@@ -289,8 +229,8 @@ func (res *Result) classify(g *cfg.Graph, st *Stream) {
 		if b.IsExit() {
 			continue
 		}
-		must := stateOrNew(res.MustIn, b.ID, res.Cfg, Must).Clone()
-		may := stateOrNew(res.MayIn, b.ID, res.Cfg, May).Clone()
+		must := stateOrNew(res.MustIn, b.ID, res.idx, Must).Clone()
+		may := stateOrNew(res.MayIn, b.ID, res.idx, May).Clone()
 		for seq, r := range st.Refs[b.ID] {
 			id := RefID{Block: b.ID, Seq: seq}
 			if res.cac != nil && res.cac[id] == Never {
@@ -312,20 +252,19 @@ func (res *Result) applyRef(a *ACS, id RefID, r Ref) {
 	if res.cac != nil {
 		cac = res.cac[id]
 	}
-	switch cac {
-	case Never:
+	switch {
+	case cac == Never:
 		// no effect at this level
-	case Uncertain:
-		switch {
-		case r.Exact:
-			a.AccessUncertain(res.Cfg.LineOf(r.Addr))
-		case r.Unknown:
-			a.AccessUnknown()
-		default:
-			a.AccessImprecise(res.Cfg.LinesOf(r.Addrs))
-		}
+	case r.Unknown:
+		a.AccessUnknown()
+	case !r.Exact:
+		// Imprecise: accessing and not accessing join to the same state
+		// under both remaining CACs.
+		a.AccessImprecise(res.Cfg.LinesOf(r.Addrs))
+	case cac == Uncertain:
+		a.AccessUncertain(res.Cfg.LineOf(r.Addr))
 	default:
-		transfer(a, r, res.Cfg)
+		a.Access(res.Cfg.LineOf(r.Addr))
 	}
 }
 
@@ -371,7 +310,9 @@ func (res *Result) persistentScope(b *cfg.Block, ln LineID) *cfg.Loop {
 	s := res.Cfg.SetOf(ln)
 	var best *cfg.Loop
 	for l := b.Loop(); l != nil; l = l.Parent {
-		if res.persistent[l][s] && res.perSetLines[l][s]+res.shiftFor(s) <= res.Cfg.Ways {
+		lp := res.persist[l]
+		n := int(lp.counts[s])
+		if !lp.poisoned && n > 0 && n <= res.Cfg.Ways && n+res.shiftFor(s) <= res.Cfg.Ways {
 			best = l
 		} else {
 			break // an outer scope includes this one's conflicts
@@ -392,30 +333,38 @@ func (res *Result) persistentScope(b *cfg.Block, ln LineID) *cfg.Loop {
 // ALWAYS_HIT claims now require age + shift < ways, and persistence
 // requires conflictCount + shift <= ways.
 func (res *Result) Reclassify(shift map[int]int) {
+	dense := make([]int, res.Cfg.Sets)
+	for s, n := range shift {
+		if s >= 0 && s < len(dense) {
+			dense[s] = n
+		}
+	}
+	res.ReclassifyShift(dense)
+}
+
+// ReclassifyShift is Reclassify with a dense per-set shift vector
+// (len == Sets); it is the representation the interference analyses
+// build directly. The slice is retained.
+func (res *Result) ReclassifyShift(shift []int) {
 	res.shift = shift
-	res.Classes = map[RefID]RefClass{}
+	res.Classes = make(map[RefID]RefClass, len(res.Classes))
 	res.classify(res.g, res.stream)
 }
 
 // Clone returns a copy that can be independently Reclassified without
 // disturbing the receiver: the classification map and interference shift
-// are copied, while the fixpoint states, persistence tables, graph and
-// stream — immutable after Analyze — stay shared. When cac is non-nil it
-// replaces the retained access-classification map, so a caller that
-// clones its CAC map alongside (the batch engine's memoized multi-level
-// analyses do) keeps the pair consistent.
+// are copied, while the fixpoint states, line index, persistence tables,
+// graph and stream — immutable after Analyze — stay shared. When cac is
+// non-nil it replaces the retained access-classification map, so a
+// caller that clones its CAC map alongside (the batch engine's memoized
+// multi-level analyses do) keeps the pair consistent.
 func (res *Result) Clone(cac map[RefID]CAC) *Result {
 	c := *res
 	c.Classes = make(map[RefID]RefClass, len(res.Classes))
 	for k, v := range res.Classes {
 		c.Classes[k] = v
 	}
-	if res.shift != nil {
-		c.shift = make(map[int]int, len(res.shift))
-		for k, v := range res.shift {
-			c.shift[k] = v
-		}
-	}
+	c.shift = slices.Clone(res.shift)
 	if cac != nil {
 		c.cac = cac
 	}
@@ -434,12 +383,12 @@ func (res *Result) CACOf(id RefID) CAC {
 	return res.cac[id]
 }
 
-// TouchedSets returns, per set index, the distinct lines this task may
-// bring into this cache level (refs with CAC ≠ Never). Unknown refs
-// poison the result: the bool return is false and callers must assume
-// every set fully conflicted.
-func (res *Result) TouchedSets() (map[int]map[LineID]bool, bool) {
-	out := map[int]map[LineID]bool{}
+// TouchedLines returns, per set index, the distinct lines this task may
+// bring into this cache level (refs with CAC ≠ Never), ascending within
+// each set. Unknown refs poison the result: the bool return is false and
+// callers must assume every set fully conflicted.
+func (res *Result) TouchedLines() ([][]LineID, bool) {
+	marks := make([]bool, res.idx.NumSlots())
 	for _, b := range res.g.Blocks {
 		if b.IsExit() {
 			continue
@@ -448,34 +397,56 @@ func (res *Result) TouchedSets() (map[int]map[LineID]bool, bool) {
 			if res.CACOf(RefID{Block: b.ID, Seq: seq}) == Never {
 				continue
 			}
-			var lines []LineID
-			switch {
-			case r.Exact:
-				lines = []LineID{res.Cfg.LineOf(r.Addr)}
-			case r.Unknown:
+			lines, ok := res.Cfg.RefLines(r)
+			if !ok {
 				return nil, false
-			default:
-				lines = res.Cfg.LinesOf(r.Addrs)
 			}
 			for _, ln := range lines {
-				s := res.Cfg.SetOf(ln)
-				if out[s] == nil {
-					out[s] = map[LineID]bool{}
+				if slot, ok := res.idx.SlotOf(ln); ok {
+					marks[slot] = true
 				}
-				out[s][ln] = true
+			}
+		}
+	}
+	out := make([][]LineID, res.Cfg.Sets)
+	for s := 0; s < res.Cfg.Sets; s++ {
+		lo, hi := res.idx.setRange(s)
+		for slot := lo; slot < hi; slot++ {
+			if marks[slot] {
+				out[s] = append(out[s], res.idx.LineAt(slot))
 			}
 		}
 	}
 	return out, true
 }
 
+// TouchedSets is TouchedLines in map form (kept for API stability).
+func (res *Result) TouchedSets() (map[int]map[LineID]bool, bool) {
+	perSet, ok := res.TouchedLines()
+	if !ok {
+		return nil, false
+	}
+	out := map[int]map[LineID]bool{}
+	for s, lines := range perSet {
+		if len(lines) == 0 {
+			continue
+		}
+		m := make(map[LineID]bool, len(lines))
+		for _, ln := range lines {
+			m[ln] = true
+		}
+		out[s] = m
+	}
+	return out, true
+}
+
 // stateOrNew fetches a block's in-state, defaulting to the initial state
 // (blocks unreachable in the stream maps, e.g. with empty streams).
-func stateOrNew(m map[cfg.BlockID]*ACS, id cfg.BlockID, c Config, k ACSKind) *ACS {
+func stateOrNew(m map[cfg.BlockID]*ACS, id cfg.BlockID, idx *Index, k ACSKind) *ACS {
 	if s, ok := m[id]; ok {
 		return s
 	}
-	return NewACS(c, k)
+	return NewACS(idx, k)
 }
 
 // Describe renders one classification for diagnostics.

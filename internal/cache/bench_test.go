@@ -1,0 +1,75 @@
+package cache_test
+
+import (
+	"testing"
+
+	"paratime/internal/cache"
+	"paratime/internal/core"
+	"paratime/internal/workload"
+)
+
+// benchAnalysis prepares the largest suite task (matmult) under the
+// default system: its merged L2 stream and CAC map are the heaviest
+// abstract-interpretation workload the experiments exercise.
+func benchAnalysis(b *testing.B) *core.Analysis {
+	b.Helper()
+	a, err := core.Prepare(workload.MatMult(8, workload.Slot(0)), core.DefaultSystem())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return a
+}
+
+// BenchmarkMustMayFixpoint measures one full single-level analysis (Must
+// and May fixpoints, persistence, classification) over the instruction
+// stream — the inner loop of every solo and joint experiment.
+func BenchmarkMustMayFixpoint(b *testing.B) {
+	a := benchAnalysis(b)
+	l1 := a.Sys.Mem.L1I
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.Analyze(a.G, a.IStream, l1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkJoin measures one abstract-state join on well-filled Must
+// states, the single most frequent operation of the fixpoint.
+func BenchmarkJoin(b *testing.B) {
+	geom := cache.Config{Name: "J", Sets: 32, Ways: 4, LineBytes: 32}
+	lines := make([]cache.LineID, 96)
+	for i := range lines {
+		lines[i] = cache.LineID(i)
+	}
+	idx := cache.NewIndex(geom, lines)
+	sa := cache.NewACS(idx, cache.Must)
+	sb := cache.NewACS(idx, cache.Must)
+	for l := cache.LineID(0); l < 96; l++ {
+		sa.Access(l)
+		if l%3 != 0 {
+			sb.Access(l)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = sa.Join(sb)
+	}
+}
+
+// BenchmarkAnalyzeL2Merged measures the filtered L2 analysis over the
+// merged instruction+data stream under the L1-derived CAC — the shape
+// every shared-cache, bypass, and locking experiment re-runs.
+func BenchmarkAnalyzeL2Merged(b *testing.B) {
+	a := benchAnalysis(b)
+	l2 := *a.Sys.Mem.L2
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cache.AnalyzeWithCAC(a.G, a.Merged, l2, a.CAC); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,7 +9,7 @@ package cache
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // LineID identifies a memory line: byte address divided by the line size.
@@ -37,7 +37,9 @@ func (c Config) Validate() error {
 	if c.LineBytes < 4 || c.LineBytes&(c.LineBytes-1) != 0 {
 		return fmt.Errorf("cache %s: line size %d not a power of two >= 4", c.Name, c.LineBytes)
 	}
-	if c.Ways <= 0 {
+	if c.Ways <= 0 || c.Ways > 255 {
+		// The upper bound keeps abstract ages (plus the "absent" sentinel
+		// at Ways) representable in one byte of the dense ACS encoding.
 		return fmt.Errorf("cache %s: ways %d", c.Name, c.Ways)
 	}
 	return nil
@@ -55,16 +57,26 @@ func (c Config) CapacityBytes() int { return c.Sets * c.Ways * c.LineBytes }
 // LinesOf returns the distinct lines touched by a set of byte addresses,
 // in ascending order.
 func (c Config) LinesOf(addrs []uint32) []LineID {
-	seen := map[LineID]bool{}
-	for _, a := range addrs {
-		seen[c.LineOf(a)] = true
+	out := make([]LineID, len(addrs))
+	for i, a := range addrs {
+		out[i] = c.LineOf(a)
 	}
-	out := make([]LineID, 0, len(seen))
-	for l := range seen {
-		out = append(out, l)
+	slices.Sort(out)
+	return slices.Compact(out)
+}
+
+// RefLines returns the distinct lines a reference may touch under this
+// geometry, ascending. Unknown references touch no enumerable line: the
+// bool is false and callers must treat the reference pessimistically.
+func (c Config) RefLines(r Ref) ([]LineID, bool) {
+	switch {
+	case r.Exact:
+		return []LineID{c.LineOf(r.Addr)}, true
+	case r.Unknown:
+		return nil, false
+	default:
+		return c.LinesOf(r.Addrs), true
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
 }
 
 // LRU is a concrete set-associative cache with true LRU replacement.

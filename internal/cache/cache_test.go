@@ -104,9 +104,10 @@ func TestACSSoundnessRandom(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		geom := Config{Name: "r", Sets: 1 << rng.Intn(3), Ways: 1 + rng.Intn(3), LineBytes: 16}
 		conc := NewLRU(geom)
-		must := NewACS(geom, Must)
-		may := NewACS(geom, May)
 		universe := 2 + rng.Intn(10)
+		idx := NewIndex(geom, universeLines(universe))
+		must := NewACS(idx, Must)
+		may := NewACS(idx, May)
 		for step := 0; step < 200; step++ {
 			l := LineID(rng.Intn(universe))
 			conc.AccessLine(l)
@@ -118,6 +119,16 @@ func TestACSSoundnessRandom(t *testing.T) {
 			}
 		}
 	}
+}
+
+// universeLines returns lines 0..n-1, the address universe of the random
+// soundness drivers.
+func universeLines(n int) []LineID {
+	out := make([]LineID, n)
+	for i := range out {
+		out[i] = LineID(i)
+	}
+	return out
 }
 
 // concreteAge returns the LRU stack position of l, or -1.
@@ -132,24 +143,28 @@ func concreteAge(c *LRU, geom Config, l LineID) int {
 
 func checkACSInvariants(t *testing.T, geom Config, conc *LRU, must, may *ACS) {
 	t.Helper()
-	for s := 0; s < geom.Sets; s++ {
-		for l, age := range must.sets[s] {
+	idx := must.idx
+	for slot := int32(0); slot < int32(idx.NumSlots()); slot++ {
+		l := idx.LineAt(slot)
+		if must.Contains(l) {
 			ca := concreteAge(conc, geom, l)
 			if ca < 0 {
 				t.Errorf("line %d in must but not cached", l)
-			} else if ca > age {
-				t.Errorf("line %d concrete age %d > must age %d", l, ca, age)
+			} else if ca > must.Age(l) {
+				t.Errorf("line %d concrete age %d > must age %d", l, ca, must.Age(l))
 			}
 		}
+	}
+	for s := 0; s < geom.Sets; s++ {
 		for _, l := range conc.sets[s] {
-			mayAge, ok := may.sets[s][l]
-			if !ok && !may.Poisoned {
-				t.Errorf("cached line %d not in may", l)
-			}
-			if ok {
-				if ca := concreteAge(conc, geom, l); ca < mayAge {
-					t.Errorf("line %d concrete age %d < may age %d", l, ca, mayAge)
+			if !may.Contains(l) {
+				if !may.Poisoned {
+					t.Errorf("cached line %d not in may", l)
 				}
+				continue
+			}
+			if ca := concreteAge(conc, geom, l); ca < may.Age(l) {
+				t.Errorf("line %d concrete age %d < may age %d", l, ca, may.Age(l))
 			}
 		}
 	}
@@ -162,8 +177,9 @@ func TestACSJoinSoundness(t *testing.T) {
 	for trial := 0; trial < 50; trial++ {
 		geom := Config{Name: "j", Sets: 2, Ways: 2, LineBytes: 16}
 		concA, concB := NewLRU(geom), NewLRU(geom)
-		mustA, mustB := NewACS(geom, Must), NewACS(geom, Must)
-		mayA, mayB := NewACS(geom, May), NewACS(geom, May)
+		idx := NewIndex(geom, universeLines(6))
+		mustA, mustB := NewACS(idx, Must), NewACS(idx, Must)
+		mayA, mayB := NewACS(idx, May), NewACS(idx, May)
 		for i := 0; i < 30; i++ {
 			la, lb := LineID(rng.Intn(6)), LineID(rng.Intn(6))
 			concA.AccessLine(la)
@@ -186,13 +202,14 @@ func TestACSJoinSoundness(t *testing.T) {
 
 func TestACSAccessUnknownPoisonsMay(t *testing.T) {
 	geom := cfg4x2x16(1, 10)
-	may := NewACS(geom, May)
+	idx := NewIndex(geom, []LineID{5})
+	may := NewACS(idx, May)
 	may.Access(5)
 	may.AccessUnknown()
 	if !may.Poisoned {
 		t.Error("unknown access must poison may state")
 	}
-	must := NewACS(geom, Must)
+	must := NewACS(idx, Must)
 	must.Access(5)
 	age0 := must.Age(5)
 	must.AccessUnknown()
@@ -203,7 +220,8 @@ func TestACSAccessUnknownPoisonsMay(t *testing.T) {
 
 func TestACSHelpers(t *testing.T) {
 	geom := Config{Name: "h", Sets: 2, Ways: 2, LineBytes: 16}
-	a := NewACS(geom, Must)
+	idx := NewIndex(geom, universeLines(3))
+	a := NewACS(idx, Must)
 	a.Access(0) // set 0
 	a.Access(2) // set 0 (2 % 2 == 0)
 	a.Access(1) // set 1
@@ -221,7 +239,7 @@ func TestACSHelpers(t *testing.T) {
 	if a.Contains(1) {
 		t.Error("EvictSet left line behind")
 	}
-	b := NewACS(geom, Must)
+	b := NewACS(idx, Must)
 	b.Access(0)
 	b.Access(1)
 	b.AgeAll(1)
@@ -613,6 +631,91 @@ func TestClassificationSoundnessRandomLoops(t *testing.T) {
 		tc := newTraceCheck(t, g, &geom, nil)
 		tc.run()
 		tc.validate(res, "fuzz")
+		if t.Failed() {
+			t.Fatalf("trial %d geom %+v\n%s", trial, geom, src)
+		}
+	}
+}
+
+// TestTouchedSetsMatchesTouchedLines pins the legacy map-shaped wrapper
+// to the dense per-set slices it adapts.
+func TestTouchedSetsMatchesTouchedLines(t *testing.T) {
+	g := buildGraph(t, `
+        li   r1, 20
+loop:   add  r2, r2, r1
+        add  r3, r3, r2
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt`)
+	geom := Config{Name: "T", Sets: 4, Ways: 2, LineBytes: 8}
+	res := MustAnalyze(g, FetchStream(g), geom)
+	lines, ok1 := res.TouchedLines()
+	sets, ok2 := res.TouchedSets()
+	if !ok1 || !ok2 {
+		t.Fatal("fetch stream has no unknown refs; both forms must be precise")
+	}
+	total := 0
+	for s, ls := range lines {
+		if len(ls) == 0 {
+			if _, present := sets[s]; present {
+				t.Errorf("set %d: empty in dense form but present in map form", s)
+			}
+			continue
+		}
+		total += len(ls)
+		if len(sets[s]) != len(ls) {
+			t.Errorf("set %d: %d lines dense vs %d map", s, len(ls), len(sets[s]))
+		}
+		for _, ln := range ls {
+			if !sets[s][ln] {
+				t.Errorf("set %d: line %d missing from map form", s, ln)
+			}
+		}
+	}
+	if total == 0 {
+		t.Error("expected touched lines in a straight fetch stream")
+	}
+}
+
+// TestDataClassificationSoundnessRandom fuzzes data reference streams —
+// random mixes of scalar reuse and array walks with varying strides —
+// and validates every classification claim against the concrete LRU on
+// the executed trace.
+func TestDataClassificationSoundnessRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 30; trial++ {
+		iters := 2 + rng.Intn(8)
+		stride := 4 << rng.Intn(3)
+		span := stride * (1 + rng.Intn(12))
+		base := 0x8000 + 0x100*rng.Intn(4)
+		scalar := 0x9000 + 16*rng.Intn(4)
+		src := "        li   r1, " + itoa(base) + "\n"
+		src += "        li   r3, " + itoa(base+span) + "\n"
+		src += "        li   r6, " + itoa(scalar) + "\n"
+		src += "        li   r5, " + itoa(iters) + "\n"
+		src += "outer:  li   r1, " + itoa(base) + "\n"
+		src += "inner:  ld   r2, 0(r1)\n"
+		src += "        ld   r4, 0(r6)\n"
+		src += "        st   r4, 0(r6)\n"
+		src += "        addi r1, r1, " + itoa(stride) + "\n"
+		src += "        bne  r1, r3, inner\n"
+		src += "        addi r5, r5, -1\n"
+		src += "        bne  r5, r0, outer\n"
+		src += "        halt\n"
+		g := buildGraph(t, src)
+		cp := flow.PropagateConstants(g)
+		_, ind := flow.DeriveBounds(g, cp)
+		addrs := flow.AnalyzeAddrs(g, cp, ind)
+		geom := Config{
+			Name:      "D",
+			Sets:      1 << rng.Intn(4),
+			Ways:      1 + rng.Intn(3),
+			LineBytes: 8 << rng.Intn(2),
+		}
+		res := MustAnalyze(g, DataStream(g, addrs), geom)
+		tc := newTraceCheck(t, g, nil, &geom)
+		tc.run()
+		tc.validate(res, "data-fuzz")
 		if t.Failed() {
 			t.Fatalf("trial %d geom %+v\n%s", trial, geom, src)
 		}

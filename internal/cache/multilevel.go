@@ -73,9 +73,14 @@ func AnalyzeTwoLevel(g *cfg.Graph, st *Stream, l1, l2 Config) (*TwoLevelResult, 
 // cache access classification: Never references do not touch the level,
 // Uncertain references update it with the join of accessing and not
 // accessing (Hardy & Puaut), and persistence counts only references that
-// may reach the level. This is the building block for unified L2 analysis
-// over merged instruction+data streams and for the shared-cache
-// interference analyses.
+// may reach the level. With a nil cac every reference Always reaches the
+// level, which is exactly the single-level Analyze. This is the building
+// block for unified L2 analysis over merged instruction+data streams and
+// for the shared-cache interference analyses.
+//
+// The stream's touched lines are interned into a dense per-config Index
+// once, the stream is compiled to slot-level ops, and Must and May
+// in-states are computed by the worklist fixpoint over flat age vectors.
 func AnalyzeWithCAC(g *cfg.Graph, st *Stream, cacheCfg Config, cac map[RefID]CAC) (*Result, error) {
 	if err := cacheCfg.Validate(); err != nil {
 		return nil, err
@@ -85,102 +90,17 @@ func AnalyzeWithCAC(g *cfg.Graph, st *Stream, cacheCfg Config, cac map[RefID]CAC
 		Classes: map[RefID]RefClass{},
 		MustIn:  map[cfg.BlockID]*ACS{},
 		MayIn:   map[cfg.BlockID]*ACS{},
+		idx:     StreamIndex(cacheCfg, st),
 		g:       g,
 		stream:  st,
 		cac:     cac,
 	}
-	res.runFilteredFixpoint(g, st, Must, res.MustIn)
-	res.runFilteredFixpoint(g, st, May, res.MayIn)
-	res.computeFilteredPersistence(g, st)
+	ops := compileOps(g, st, cac, res.idx)
+	res.runFixpoint(g, ops, Must, res.MustIn)
+	res.runFixpoint(g, ops, May, res.MayIn)
+	res.computePersistence(g, ops)
 	res.classify(g, st)
 	return res, nil
-}
-
-func (res *Result) runFilteredFixpoint(g *cfg.Graph, st *Stream, kind ACSKind, inStates map[cfg.BlockID]*ACS) {
-	blocks := g.RPO()
-	out := map[cfg.BlockID]*ACS{}
-	for changed := true; changed; {
-		changed = false
-		for _, b := range blocks {
-			var in *ACS
-			if b == g.Entry {
-				in = NewACS(res.Cfg, kind)
-			} else {
-				for _, e := range b.Preds {
-					p, ok := out[e.From.ID]
-					if !ok {
-						continue
-					}
-					if in == nil {
-						in = p.Clone()
-					} else {
-						in = in.Join(p)
-					}
-				}
-				if in == nil {
-					continue
-				}
-			}
-			o := in.Clone()
-			for seq, r := range st.Refs[b.ID] {
-				res.applyRef(o, RefID{Block: b.ID, Seq: seq}, r)
-			}
-			prevIn, okIn := inStates[b.ID]
-			prevOut, okOut := out[b.ID]
-			if !okIn || !prevIn.Equal(in) || !okOut || !prevOut.Equal(o) {
-				inStates[b.ID] = in
-				out[b.ID] = o
-				changed = true
-			}
-		}
-	}
-}
-
-// computeFilteredPersistence is persistence counting restricted to
-// references that may reach this level.
-func (res *Result) computeFilteredPersistence(g *cfg.Graph, st *Stream) {
-	res.persistent = map[*cfg.Loop]map[int]bool{}
-	res.perSetLines = map[*cfg.Loop]map[int]int{}
-	for _, l := range g.Loops {
-		linesPerSet := map[int]map[LineID]bool{}
-		poisoned := false
-		for _, b := range l.Blocks {
-			for seq, r := range st.Refs[b.ID] {
-				if res.cac[RefID{Block: b.ID, Seq: seq}] == Never {
-					continue
-				}
-				switch {
-				case r.Exact:
-					ln := res.Cfg.LineOf(r.Addr)
-					s := res.Cfg.SetOf(ln)
-					if linesPerSet[s] == nil {
-						linesPerSet[s] = map[LineID]bool{}
-					}
-					linesPerSet[s][ln] = true
-				case r.Unknown:
-					poisoned = true
-				default:
-					for _, ln := range res.Cfg.LinesOf(r.Addrs) {
-						s := res.Cfg.SetOf(ln)
-						if linesPerSet[s] == nil {
-							linesPerSet[s] = map[LineID]bool{}
-						}
-						linesPerSet[s][ln] = true
-					}
-				}
-			}
-		}
-		ps := map[int]bool{}
-		counts := map[int]int{}
-		if !poisoned {
-			for s, lines := range linesPerSet {
-				ps[s] = len(lines) <= res.Cfg.Ways
-				counts[s] = len(lines)
-			}
-		}
-		res.persistent[l] = ps
-		res.perSetLines[l] = counts
-	}
 }
 
 // Summary renders classification counts for both levels.

@@ -2,7 +2,7 @@ package cfg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"paratime/internal/isa"
 )
@@ -144,7 +144,7 @@ func (b *builder) proc(entry int) (*procCFG, error) {
 	for i := range seen {
 		reach = append(reach, i)
 	}
-	sort.Ints(reach)
+	slices.Sort(reach)
 	pc := &procCFG{entry: entry, at: map[int]int{}}
 	start := -1
 	var prev int
@@ -356,7 +356,7 @@ func rpoNumber(g *Graph) {
 	for i, b := range post {
 		b.rpo = n - 1 - i
 	}
-	sort.Slice(g.Blocks, func(i, j int) bool { return g.Blocks[i].rpo < g.Blocks[j].rpo })
+	slices.SortFunc(g.Blocks, func(a, b *Block) int { return a.rpo - b.rpo })
 	for i, b := range g.Blocks {
 		b.ID = BlockID(i)
 	}

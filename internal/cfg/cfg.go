@@ -11,7 +11,7 @@ package cfg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 
 	"paratime/internal/isa"
@@ -174,7 +174,7 @@ func (g *Graph) BlockCount() int { return len(g.Blocks) }
 func (g *Graph) RPO() []*Block {
 	out := make([]*Block, len(g.Blocks))
 	copy(out, g.Blocks)
-	sort.Slice(out, func(i, j int) bool { return out[i].rpo < out[j].rpo })
+	slices.SortFunc(out, func(a, b *Block) int { return a.rpo - b.rpo })
 	return out
 }
 

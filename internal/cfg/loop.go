@@ -2,7 +2,7 @@ package cfg
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // findLoops detects natural loops from back edges, merges loops sharing a
@@ -52,11 +52,11 @@ func findLoops(g *Graph) error {
 	}
 	// Sort by body size ascending: a loop's parent is the smallest strictly
 	// containing loop.
-	sort.Slice(all, func(i, j int) bool {
-		if len(all[i].Blocks) != len(all[j].Blocks) {
-			return len(all[i].Blocks) < len(all[j].Blocks)
+	slices.SortFunc(all, func(a, b *Loop) int {
+		if len(a.Blocks) != len(b.Blocks) {
+			return len(a.Blocks) - len(b.Blocks)
 		}
-		return all[i].Header.rpo < all[j].Header.rpo
+		return a.Header.rpo - b.Header.rpo
 	})
 	for i, l := range all {
 		for _, cand := range all[i+1:] {
@@ -99,11 +99,11 @@ func findLoops(g *Graph) error {
 		}
 	}
 	// Present outermost-first, stable by header RPO.
-	sort.Slice(all, func(i, j int) bool {
-		if all[i].Depth != all[j].Depth {
-			return all[i].Depth < all[j].Depth
+	slices.SortFunc(all, func(a, b *Loop) int {
+		if a.Depth != b.Depth {
+			return a.Depth - b.Depth
 		}
-		return all[i].Header.rpo < all[j].Header.rpo
+		return a.Header.rpo - b.Header.rpo
 	})
 	g.Loops = all
 	return nil

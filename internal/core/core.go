@@ -13,6 +13,7 @@ package core
 
 import (
 	"fmt"
+	"maps"
 	"strings"
 
 	"paratime/internal/cache"
@@ -213,28 +214,19 @@ func (a *Analysis) RecomputeL2() error {
 // every artefact a downstream pass may mutate (the L2 result, CAC map,
 // bypass and override sets, extra IPET events, and the WCET outputs) is
 // copied, while the immutable prefix (graph, flow facts, reference
-// streams, L1 results) is shared. Interference re-classification,
-// bypass, locking and ComputeWCET on the clone leave the receiver — and
-// every other clone — untouched, which is what lets the batch engine
-// hand one memoized Prepare result to many concurrent consumers.
+// streams, L1 results — and, inside each cache result, the interned-line
+// index, fixpoint states and persistence tables) is shared. Interference
+// re-classification only swaps a clone's classification map and dense
+// shift vector, and bypass rebuilds the clone's L2 result outright, so
+// all of interference, bypass, locking and ComputeWCET on the clone
+// leave the receiver — and every other clone — untouched, which is what
+// lets the batch engine hand one memoized Prepare result to many
+// concurrent consumers.
 func (a *Analysis) Clone() *Analysis {
 	c := *a
-	if a.CAC != nil {
-		c.CAC = make(map[cache.RefID]cache.CAC, len(a.CAC))
-		for k, v := range a.CAC {
-			c.CAC[k] = v
-		}
-	}
-	c.Bypass = make(map[cache.RefID]bool, len(a.Bypass))
-	for k, v := range a.Bypass {
-		c.Bypass[k] = v
-	}
-	if a.L2Override != nil {
-		c.L2Override = make(map[cache.RefID]cache.Class, len(a.L2Override))
-		for k, v := range a.L2Override {
-			c.L2Override[k] = v
-		}
-	}
+	c.CAC = maps.Clone(a.CAC)
+	c.Bypass = maps.Clone(a.Bypass)
+	c.L2Override = maps.Clone(a.L2Override)
 	c.ExtraEvents = append([]ipet.Event(nil), a.ExtraEvents...)
 	if a.L2 != nil {
 		c.L2 = a.L2.Clone(c.CAC)

@@ -2,7 +2,7 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"paratime/internal/cache"
 	"paratime/internal/core"
@@ -46,9 +46,7 @@ func ExportableIDs() []string {
 	for id := range Exporters {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		return idOrder(ids[i]) < idOrder(ids[j])
-	})
+	slices.SortFunc(ids, func(a, b string) int { return idOrder(a) - idOrder(b) })
 	return ids
 }
 

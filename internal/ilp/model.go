@@ -13,7 +13,7 @@ package ilp
 import (
 	"fmt"
 	"math/big"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -213,7 +213,7 @@ func (m *Model) linString(l Lin) string {
 	for v := range l {
 		vars = append(vars, v)
 	}
-	sort.Slice(vars, func(i, j int) bool { return vars[i] < vars[j] })
+	slices.Sort(vars)
 	var parts []string
 	for _, v := range vars {
 		parts = append(parts, fmt.Sprintf("%s*%s", l[v].RatString(), m.names[v]))

@@ -26,14 +26,9 @@ func SingleUsageLines(a *core.Analysis) map[cache.LineID]bool {
 			if a.CAC[id] == cache.Never {
 				continue
 			}
-			var lines []cache.LineID
-			switch {
-			case r.Exact:
-				lines = []cache.LineID{cfgL2.LineOf(r.Addr)}
-			case r.Unknown:
+			lines, ok := cfgL2.RefLines(r)
+			if !ok {
 				return nil // cannot prove single usage for anything
-			default:
-				lines = cfgL2.LinesOf(r.Addrs)
 			}
 			for _, ln := range lines {
 				refsPerLine[ln]++
@@ -77,13 +72,9 @@ func ApplyBypass(a *core.Analysis) (int, error) {
 				continue
 			}
 			bypass := false
-			switch {
-			case r.Exact:
-				bypass = single[cfgL2.LineOf(r.Addr)]
-			case r.Unknown:
-			default:
+			if lines, ok := cfgL2.RefLines(r); ok {
 				bypass = true
-				for _, ln := range cfgL2.LinesOf(r.Addrs) {
+				for _, ln := range lines {
 					if !single[ln] {
 						bypass = false
 						break

@@ -35,13 +35,14 @@ const (
 )
 
 // foreignConflicts accumulates, per L2 set, the number of distinct lines
-// co-runners may bring into the shared L2. The bool is false when any
-// co-runner has an unknown reference (assume full conflict everywhere).
-func foreignConflicts(task *core.Analysis, coRunners []*core.Analysis) (map[int]int, bool) {
+// co-runners may bring into the shared L2 (a dense vector indexed by
+// set). The bool is false when any co-runner has an unknown reference
+// (assume full conflict everywhere).
+func foreignConflicts(task *core.Analysis, coRunners []*core.Analysis) ([]int, bool) {
 	if task.L2 == nil {
 		return nil, false
 	}
-	perSet := map[int]map[cache.LineID]bool{}
+	perSet := make([]map[cache.LineID]bool, task.L2.Cfg.Sets)
 	for _, o := range coRunners {
 		if o == task {
 			continue
@@ -49,20 +50,23 @@ func foreignConflicts(task *core.Analysis, coRunners []*core.Analysis) (map[int]
 		if o.L2 == nil {
 			return nil, false
 		}
-		touched, ok := o.L2.TouchedSets()
+		touched, ok := o.L2.TouchedLines()
 		if !ok {
 			return nil, false
 		}
 		for s, lines := range touched {
-			if perSet[s] == nil {
-				perSet[s] = map[cache.LineID]bool{}
+			if len(lines) == 0 {
+				continue
 			}
-			for l := range lines {
+			if perSet[s] == nil {
+				perSet[s] = make(map[cache.LineID]bool, len(lines))
+			}
+			for _, l := range lines {
 				perSet[s][l] = true
 			}
 		}
 	}
-	out := map[int]int{}
+	out := make([]int, len(perSet))
 	for s, lines := range perSet {
 		out[s] = len(lines)
 	}
@@ -86,26 +90,26 @@ func Apply(task *core.Analysis, coRunners []*core.Analysis, model ConflictModel)
 	}
 	conflicts, ok := foreignConflicts(task, coRunners)
 	ways := task.L2.Cfg.Ways
-	shift := map[int]int{}
+	shift := make([]int, task.L2.Cfg.Sets)
 	if !ok {
 		// Unknown foreign behaviour: every set fully conflicted.
-		for s := 0; s < task.L2.Cfg.Sets; s++ {
+		for s := range shift {
 			shift[s] = ways
 		}
 	} else {
 		for s, n := range conflicts {
+			if n == 0 {
+				continue
+			}
 			switch model {
 			case DirectMapped:
 				shift[s] = ways // kill the set
 			case AgeShift:
-				if n > ways {
-					n = ways
-				}
-				shift[s] = n
+				shift[s] = min(n, ways)
 			}
 		}
 	}
-	task.L2.Reclassify(shift)
+	task.L2.ReclassifyShift(shift)
 	return task.ComputeWCET()
 }
 

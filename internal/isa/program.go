@@ -4,7 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -81,7 +81,7 @@ func (p *Program) Fingerprint() string {
 	for l := range p.Labels {
 		labels = append(labels, l)
 	}
-	sort.Strings(labels)
+	slices.Sort(labels)
 	for _, l := range labels {
 		fmt.Fprintf(h, "l:%s=%d;", l, p.Labels[l])
 	}
@@ -89,7 +89,7 @@ func (p *Program) Fingerprint() string {
 	for a := range p.Data {
 		addrs = append(addrs, a)
 	}
-	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	slices.Sort(addrs)
 	for _, a := range addrs {
 		fmt.Fprintf(h, "d:%d=%d;", a, p.Data[a])
 	}
@@ -105,7 +105,7 @@ func (p *Program) LabelAt(i int) string {
 			ls = append(ls, name)
 		}
 	}
-	sort.Strings(ls)
+	slices.Sort(ls)
 	return strings.Join(ls, "/")
 }
 

@@ -11,8 +11,9 @@
 package partition
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"paratime/internal/cache"
 	"paratime/internal/cfg"
@@ -154,14 +155,9 @@ func lineProfit(a *core.Analysis, within *cfg.Loop) map[cache.LineID]int64 {
 			if a.CAC[id] == cache.Never {
 				continue
 			}
-			switch {
-			case r.Exact:
-				profit[cfgL2.LineOf(r.Addr)] += freq
-			case r.Unknown:
-			default:
-				for _, ln := range cfgL2.LinesOf(r.Addrs) {
-					profit[ln] += freq
-				}
+			lines, _ := cfgL2.RefLines(r) // unknown refs profit nothing
+			for _, ln := range lines {
+				profit[ln] += freq
 			}
 		}
 	}
@@ -175,11 +171,14 @@ func topLines(profit map[cache.LineID]int64, geom cache.Config, budgetLines int)
 	for ln := range profit {
 		lines = append(lines, ln)
 	}
-	sort.Slice(lines, func(i, j int) bool {
-		if profit[lines[i]] != profit[lines[j]] {
-			return profit[lines[i]] > profit[lines[j]]
+	slices.SortFunc(lines, func(a, b cache.LineID) int {
+		if pa, pb := profit[a], profit[b]; pa != pb {
+			if pa > pb {
+				return -1
+			}
+			return 1
 		}
-		return lines[i] < lines[j]
+		return cmp.Compare(a, b)
 	})
 	perSet := map[int]int{}
 	var out []cache.LineID
@@ -218,13 +217,9 @@ func applyLockClasses(a *core.Analysis, locked map[cache.LineID]bool, within *cf
 				continue
 			}
 			hit := false
-			switch {
-			case r.Exact:
-				hit = locked[cfgL2.LineOf(r.Addr)]
-			case r.Unknown:
-			default:
+			if lines, ok := cfgL2.RefLines(r); ok {
 				hit = true
-				for _, ln := range cfgL2.LinesOf(r.Addrs) {
+				for _, ln := range lines {
 					if !locked[ln] {
 						hit = false
 						break

@@ -166,39 +166,39 @@ func ExecBlock(pc Config, b *cfg.Block, tim TimingFn, in Context) BlockTiming {
 	var lastEXd int
 	for i, inst := range insts {
 		t := tim(b, i)
-		fetch := maxInt(1, t.Fetch)
+		fetch := max(1, t.Fetch)
 		mem := 1
 		if inst.IsMem() {
-			mem = maxInt(1, t.Mem)
+			mem = max(1, t.Mem)
 		}
 		ex := pc.exLat(inst)
 
 		ifs := prevIDs
 		var ifd int
 		if t.FetchMiss {
-			start := maxInt(ifs, port)
+			start := max(ifs, port)
 			ifd = start + fetch
 			port = ifd
 		} else {
 			ifd = ifs + fetch
 		}
-		ids := maxInt(ifd, prevEXs)
-		exs := maxInt(ids+1, prevMEMs)
+		ids := max(ifd, prevEXs)
+		exs := max(ids+1, prevMEMs)
 		for _, r := range SrcRegs(inst) {
 			if ready[r] > exs {
 				exs = ready[r]
 			}
 		}
-		mems := maxInt(exs+ex, prevWBs)
+		mems := max(exs+ex, prevWBs)
 		var memDone int
 		if inst.IsMem() && t.MemMiss {
-			start := maxInt(mems, port)
+			start := max(mems, port)
 			memDone = start + mem
 			port = memDone
 		} else {
 			memDone = mems + mem
 		}
-		wbs := maxInt(memDone, prevWBd)
+		wbs := max(memDone, prevWBd)
 		wbd := wbs + 1
 
 		if rd, ok := DstReg(inst); ok {
@@ -342,13 +342,6 @@ func DstReg(in isa.Inst) (isa.Reg, bool) {
 		}
 		return in.Rd, true
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }
 
 // ExLatOf exposes the per-instruction EX latency for the simulator, which

@@ -161,7 +161,7 @@ func (c *coreRunner) run(sys *System) (*busNeed, error) {
 				return nil, fmt.Errorf("core %d: PC 0x%x outside text", c.id, c.arch.PC)
 			}
 			c.inst = c.arch.Prog.Insts[idx]
-			c.ifs = maxI64(c.prevIDs, c.redirect)
+			c.ifs = max(c.prevIDs, c.redirect)
 			if c.l1i.Access(c.arch.PC) {
 				c.stats.L1IHits++
 				c.ifd = c.ifs + int64(c.cfg.L1I.HitLatency)
@@ -170,7 +170,7 @@ func (c *coreRunner) run(sys *System) (*busNeed, error) {
 				// The blocking miss port serializes this core's
 				// transactions: request when both the fetch is due and the
 				// port is free.
-				return &busNeed{addr: c.arch.PC, at: maxI64(c.ifs, c.portFree), ph: phFetch}, nil
+				return &busNeed{addr: c.arch.PC, at: max(c.ifs, c.portFree), ph: phFetch}, nil
 			}
 		}
 		need, err := c.finish(sys)
@@ -194,15 +194,15 @@ func (c *coreRunner) inFlight() bool { return c.ifd != 0 }
 func (c *coreRunner) finish(sys *System) (*busNeed, error) {
 	in := c.inst
 	if c.memLat == 0 { // data access not resolved yet
-		ids := maxI64(c.ifd, c.prevEXs)
-		exs := maxI64(ids+1, c.prevMEMs)
+		ids := max(c.ifd, c.prevEXs)
+		exs := max(ids+1, c.prevMEMs)
 		for _, r := range pipeline.SrcRegs(in) {
 			if c.ready[r] > exs {
 				exs = c.ready[r]
 			}
 		}
 		ex := int64(pipeline.ExLatOf(c.cfg.Pipe, in))
-		c.mems = maxI64(exs+ex, c.prevWBs)
+		c.mems = max(exs+ex, c.prevWBs)
 		// Stash EX completion for redirect computation in retire().
 		c.exd = exs + ex
 		c.exsAbs = exs
@@ -213,14 +213,14 @@ func (c *coreRunner) finish(sys *System) (*busNeed, error) {
 				c.memLat = int64(c.cfg.L1D.HitLatency)
 			} else {
 				c.stats.L1DMisses++
-				return &busNeed{addr: addr, at: maxI64(c.mems, c.portFree), ph: phMem}, nil
+				return &busNeed{addr: addr, at: max(c.mems, c.portFree), ph: phMem}, nil
 			}
 		} else {
 			c.memLat = 1
 		}
 	}
 	// Retire.
-	wbs := maxI64(c.mems+c.memLat, c.prevWBd)
+	wbs := max(c.mems+c.memLat, c.prevWBd)
 	wbd := wbs + 1
 	if rd, ok := pipeline.DstReg(in); ok {
 		if in.Op == isa.LD {
@@ -229,7 +229,7 @@ func (c *coreRunner) finish(sys *System) (*busNeed, error) {
 			c.ready[rd] = c.exd
 		}
 	}
-	c.prevIDs = maxI64(c.ifd, c.prevEXs) // instruction left IF when entering ID
+	c.prevIDs = max(c.ifd, c.prevEXs) // instruction left IF when entering ID
 	c.prevEXs = c.exsAbs
 	c.prevMEMs = c.mems
 	c.prevWBs = wbs
@@ -357,11 +357,4 @@ func Run(sys System, maxCycles int64) (*Result, error) {
 		res.Stats[i] = r.stats
 	}
 	return res, nil
-}
-
-func maxI64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }
