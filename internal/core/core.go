@@ -118,6 +118,12 @@ type Analysis struct {
 	// reload costs of dynamic locking).
 	ExtraEvents []ipet.Event
 
+	// Skel is the compiled IPET skeleton: flow conservation, loop bounds
+	// and the task's extra path constraints, built once per CFG during
+	// Prepare. Every ComputeWCET specializes it with fresh costs and
+	// events; it is immutable and shared across Clone, like the graph.
+	Skel *ipet.Skeleton
+
 	// Results of ComputeWCET.
 	WCET int64
 	IPET *ipet.Result
@@ -142,6 +148,13 @@ func Prepare(task Task, sys SystemConfig) (*Analysis, error) {
 		Induction: ind,
 		Addrs:     flow.AnalyzeAddrs(g, cp, ind),
 		Bypass:    map[cache.RefID]bool{},
+	}
+	var extra []flow.Constraint
+	if task.Facts != nil {
+		extra = task.Facts.Constraints
+	}
+	if a.Skel, err = ipet.NewSkeleton(g, extra); err != nil {
+		return nil, fmt.Errorf("task %s: %w", task.Name, err)
 	}
 	a.IStream = cache.FetchStream(g)
 	a.DStream = cache.DataStream(g, a.Addrs)
@@ -214,14 +227,17 @@ func (a *Analysis) RecomputeL2() error {
 // every artefact a downstream pass may mutate (the L2 result, CAC map,
 // bypass and override sets, extra IPET events, and the WCET outputs) is
 // copied, while the immutable prefix (graph, flow facts, reference
-// streams, L1 results — and, inside each cache result, the interned-line
-// index, fixpoint states and persistence tables) is shared. Interference
-// re-classification only swaps a clone's classification map and dense
-// shift vector, and bypass rebuilds the clone's L2 result outright, so
-// all of interference, bypass, locking and ComputeWCET on the clone
-// leave the receiver — and every other clone — untouched, which is what
-// lets the batch engine hand one memoized Prepare result to many
-// concurrent consumers.
+// streams, L1 results, the compiled IPET skeleton — and, inside each
+// cache result, the interned-line index, fixpoint states and persistence
+// tables) is shared. Interference re-classification only swaps a clone's
+// classification map and dense shift vector, and bypass rebuilds the
+// clone's L2 result outright, so all of interference, bypass, locking
+// and ComputeWCET on the clone leave the receiver — and every other
+// clone — untouched, which is what lets the batch engine hand one
+// memoized Prepare result to many concurrent consumers. The skeleton is
+// safe for the clones' concurrent ComputeWCET calls and lets the
+// engine's joint/partition/lock/bus sweeps skip rebuilding (and
+// re-factorizing, via its warm-start cache) identical ILP structure.
 func (a *Analysis) Clone() *Analysis {
 	c := *a
 	c.CAC = maps.Clone(a.CAC)
@@ -311,6 +327,8 @@ func (a *Analysis) ComputeWCET() error {
 		rc := res.Classes[id]
 		ch := a.chainFor(origin, id)
 		full := ch.immediate + ch.l2Penalty
+		// Events carry no names on this hot path: an event is identified
+		// by (Block, Scope), and names are debug-only (see ipet.Event).
 		switch rc.Class {
 		case cache.AlwaysHit:
 			return 0, 0
@@ -318,7 +336,6 @@ func (a *Analysis) ComputeWCET() error {
 			base := ch.immediate
 			if ch.l2Event != nil {
 				events = append(events, ipet.Event{
-					Name:    fmt.Sprintf("%s_l2ps_b%d_%d", kind, id.Block, id.Seq),
 					Block:   id.Block,
 					Penalty: int64(ch.l2Penalty),
 					Scope:   ch.l2Event,
@@ -327,14 +344,12 @@ func (a *Analysis) ComputeWCET() error {
 			return base, full
 		default: // Persistent at L1
 			events = append(events, ipet.Event{
-				Name:    fmt.Sprintf("%s_ps_b%d_%d", kind, id.Block, id.Seq),
 				Block:   id.Block,
 				Penalty: int64(ch.immediate),
 				Scope:   rc.Scope,
 			})
 			if ch.l2Event != nil {
 				events = append(events, ipet.Event{
-					Name:    fmt.Sprintf("%s_l2ps_b%d_%d", kind, id.Block, id.Seq),
 					Block:   id.Block,
 					Penalty: int64(ch.l2Penalty),
 					Scope:   ch.l2Event,
@@ -392,11 +407,17 @@ func (a *Analysis) ComputeWCET() error {
 		return err
 	}
 	a.Pipe = pipe
-	var extra []flow.Constraint
-	if a.Task.Facts != nil {
-		extra = a.Task.Facts.Constraints
+	if a.Skel == nil {
+		// Hand-assembled Analysis (not via Prepare): compile on demand.
+		var extra []flow.Constraint
+		if a.Task.Facts != nil {
+			extra = a.Task.Facts.Constraints
+		}
+		if a.Skel, err = ipet.NewSkeleton(a.G, extra); err != nil {
+			return err
+		}
 	}
-	res, err := ipet.Solve(&ipet.Problem{G: a.G, Cost: pipe.Cost, Events: events, Extra: extra})
+	res, err := a.Skel.Solve(pipe.Cost, events)
 	if err != nil {
 		return err
 	}

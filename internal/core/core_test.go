@@ -207,3 +207,28 @@ func TestRepeatedComputeIsStable(t *testing.T) {
 		t.Errorf("recompute changed WCET: %d -> %d", w1, a.WCET)
 	}
 }
+
+func TestCloneSharesSkeleton(t *testing.T) {
+	a, err := Prepare(task(t, loopSrc), DefaultSystem())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Skel == nil {
+		t.Fatal("Prepare did not compile the IPET skeleton")
+	}
+	c := a.Clone()
+	if c.Skel != a.Skel {
+		t.Error("Clone must share the compiled skeleton (immutable prefix)")
+	}
+	// Both the original and the clone must solve through the shared
+	// skeleton without interference.
+	if err := a.ComputeWCET(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ComputeWCET(); err != nil {
+		t.Fatal(err)
+	}
+	if a.WCET != c.WCET {
+		t.Errorf("clone WCET %d != original %d", c.WCET, a.WCET)
+	}
+}

@@ -1,10 +1,14 @@
 // Package engine provides concurrent batch WCET analysis: it fans
 // independent (Task, SystemConfig) requests across a bounded worker pool
 // and memoizes the expensive analysis prefix — assembled program → CFG +
-// loop bounds → cache classification, i.e. everything core.Prepare
-// computes — under a content key, so repeated configurations (the same
-// task priced under several bus arbiters, or re-analyzed by successive
-// experiments) reuse the prepared artefacts instead of recomputing them.
+// loop bounds → cache classification + compiled IPET skeleton, i.e.
+// everything core.Prepare computes — under a content key, so repeated
+// configurations (the same task priced under several bus arbiters, or
+// re-analyzed by successive experiments) reuse the prepared artefacts
+// instead of recomputing them. Because every clone of a memoized
+// analysis shares one ipet.Skeleton, sweep re-pricings also share its
+// simplex warm-start cache: the ILP structure is built and factorized
+// once per task, not once per scenario.
 //
 // Determinism is preserved by construction: each request's analysis runs
 // the same single-threaded code the sequential path runs, on a private

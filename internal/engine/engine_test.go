@@ -301,3 +301,38 @@ func TestConcurrentMemoHammer(t *testing.T) {
 		t.Errorf("Reset did not drop memo entries")
 	}
 }
+
+// TestMemoizedClonesShareSkeleton: every clone handed out for one
+// memoized prepare must share the same compiled IPET skeleton, so sweep
+// re-pricings hit its warm-start cache instead of rebuilding structure.
+func TestMemoizedClonesShareSkeleton(t *testing.T) {
+	e := New(0)
+	sys := testSys()
+	task := workload.MatMult(4, workload.Slot(1))
+	reqs := make([]Request, 6)
+	for i := range reqs {
+		s := sys
+		s.Mem.BusDelay = i // excluded from the memo key
+		reqs[i] = Request{Task: task, Sys: s}
+	}
+	as, err := e.PrepareAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range as {
+		if a.Skel == nil {
+			t.Fatalf("request %d: no skeleton", i)
+		}
+		if a.Skel != as[0].Skel {
+			t.Fatalf("request %d: skeleton not shared across memoized clones", i)
+		}
+	}
+	for _, a := range as {
+		if err := a.ComputeWCET(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, _ := as[0].Skel.ReuseStats(); hits == 0 {
+		t.Error("bus-delay sweep over one skeleton never hit the simplex warm-start cache")
+	}
+}

@@ -1,0 +1,10 @@
+package ilp
+
+// Test-only exports: the differential suites pin the fast int64 path
+// against the retired big.Rat oracle.
+
+// SolveOracle solves with the exact big.Rat oracle unconditionally.
+func (m *Model) SolveOracle() (*Solution, error) { return m.oracleSolve() }
+
+// SolveLPOracle solves the LP relaxation with the oracle.
+func (m *Model) SolveLPOracle() (*Solution, error) { return m.oracleSolveLP() }

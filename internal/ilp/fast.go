@@ -1,0 +1,644 @@
+package ilp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/big"
+	"slices"
+	"sync"
+)
+
+// errOverflow aborts the fast int64 solve; the dispatcher retries the
+// model on the exact big.Rat oracle.
+var errOverflow = errors.New("ilp: int64 arithmetic overflow")
+
+// maxPivots bounds simplex iterations as a defensive backstop; Bland's
+// rule guarantees termination, so hitting the bound indicates a bug.
+const maxPivots = 1_000_000
+
+// srow is one sparse tableau row: sorted column indices with nonzero
+// exact int64-rational values, plus the right-hand side. Columns are
+// laid out structural-first, then slacks, then artificials — the same
+// layout as the retired dense oracle, so pivot choices coincide.
+type srow struct {
+	col []int32
+	val []rat64
+	rhs rat64
+}
+
+// at returns the value in column c (zero when absent).
+func (r *srow) at(c int32) rat64 {
+	if i, ok := slices.BinarySearch(r.col, c); ok {
+		return r.val[i]
+	}
+	return r64Zero
+}
+
+func (r *srow) clone() srow {
+	return srow{col: slices.Clone(r.col), val: slices.Clone(r.val), rhs: r.rhs}
+}
+
+// Reuse caches the feasible post-phase-1 tableau of one structural
+// family of models, so re-solves that change only the objective (the
+// IPET sweep case: same flow structure, new block costs and penalties)
+// skip phase 1 entirely. Because phase 1 never looks at the objective,
+// a warm-started solve is bit-identical to a cold one — same pivots,
+// same vertex — which is what keeps batch outputs byte-stable.
+//
+// The caller passes an exact key identifying everything that shapes the
+// constraint rows and bounds (for IPET: the persistence-event rows; the
+// skeleton's structure is fixed). A Reuse value is safe for concurrent
+// use.
+type Reuse struct {
+	mu    sync.Mutex
+	key   []int64
+	valid bool
+	rows  []srow
+	basis []int
+	ncols int
+
+	hits, misses uint64
+}
+
+// Stats reports warm-start hits and misses (for tests and tuning).
+func (r *Reuse) Stats() (hits, misses uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.hits, r.misses
+}
+
+// take returns a private deep copy of the snapshot if the key matches.
+func (r *Reuse) take(key []int64) ([]srow, []int, int, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.valid || !slices.Equal(r.key, key) {
+		r.misses++
+		return nil, nil, 0, false
+	}
+	r.hits++
+	rows := make([]srow, len(r.rows))
+	for i := range r.rows {
+		rows[i] = r.rows[i].clone()
+	}
+	return rows, slices.Clone(r.basis), r.ncols, true
+}
+
+// put stores a snapshot for the key, replacing any previous one.
+func (r *Reuse) put(key []int64, rows []srow, basis []int, ncols int) {
+	cp := make([]srow, len(rows))
+	for i := range rows {
+		cp[i] = rows[i].clone()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.key = slices.Clone(key)
+	r.rows = cp
+	r.basis = slices.Clone(basis)
+	r.ncols = ncols
+	r.valid = true
+}
+
+// ftab is the sparse fast tableau.
+type ftab struct {
+	rows  []srow
+	cost  srow
+	basis []int
+	ncols int
+
+	pivots *int // accumulated across phases and B&B nodes
+
+	// merge scratch, reused across subMul calls.
+	scol []int32
+	sval []rat64
+}
+
+// subMul computes dst -= f·src (f nonzero), merging the sorted sparse
+// rows. Returns errOverflow when any product or sum leaves int64.
+func (t *ftab) subMul(dst, src *srow, f rat64) error {
+	cols := t.scol[:0]
+	vals := t.sval[:0]
+	i, j := 0, 0
+	for i < len(dst.col) || j < len(src.col) {
+		var c int32
+		var v rat64
+		switch {
+		case j >= len(src.col) || (i < len(dst.col) && dst.col[i] < src.col[j]):
+			c, v = dst.col[i], dst.val[i]
+			i++
+		case i >= len(dst.col) || src.col[j] < dst.col[i]:
+			fv, ok := f.mul(src.val[j])
+			if !ok || fv.n == math.MinInt64 {
+				return errOverflow
+			}
+			c, v = src.col[j], rat64{-fv.n, fv.d}
+			j++
+		default:
+			fv, ok := f.mul(src.val[j])
+			if !ok {
+				return errOverflow
+			}
+			nv, ok := dst.val[i].sub(fv)
+			if !ok {
+				return errOverflow
+			}
+			c, v = dst.col[i], nv
+			i++
+			j++
+		}
+		if v.n != 0 {
+			cols = append(cols, c)
+			vals = append(vals, v)
+		}
+	}
+	fr, ok := f.mul(src.rhs)
+	if !ok {
+		return errOverflow
+	}
+	if dst.rhs, ok = dst.rhs.sub(fr); !ok {
+		return errOverflow
+	}
+	dst.col = append(dst.col[:0], cols...)
+	dst.val = append(dst.val[:0], vals...)
+	t.scol, t.sval = cols, vals
+	return nil
+}
+
+// pivot makes column c basic in row r.
+func (t *ftab) pivot(r int, c int32) error {
+	prow := &t.rows[r]
+	p := prow.at(c)
+	inv, ok := mkRat64(p.d, p.n)
+	if !ok {
+		return errOverflow
+	}
+	for k := range prow.val {
+		if prow.val[k], ok = prow.val[k].mul(inv); !ok {
+			return errOverflow
+		}
+	}
+	if prow.rhs, ok = prow.rhs.mul(inv); !ok {
+		return errOverflow
+	}
+	for i := range t.rows {
+		if i == r {
+			continue
+		}
+		if a := t.rows[i].at(c); a.n != 0 {
+			if err := t.subMul(&t.rows[i], prow, a); err != nil {
+				return err
+			}
+		}
+	}
+	if a := t.cost.at(c); a.n != 0 {
+		if err := t.subMul(&t.cost, prow, a); err != nil {
+			return err
+		}
+	}
+	t.basis[r] = int(c)
+	return nil
+}
+
+// priceOut rewrites the cost row in terms of nonbasic variables by
+// eliminating the basic columns.
+func (t *ftab) priceOut() error {
+	for r, b := range t.basis {
+		f := t.cost.at(int32(b))
+		if f.n == 0 {
+			continue
+		}
+		if err := t.subMul(&t.cost, &t.rows[r], f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// run performs primal simplex pivots with Bland's rule until optimality
+// or unboundedness. The cost row must already be priced out.
+func (t *ftab) run() (Status, error) {
+	for piv := 0; piv < maxPivots; piv++ {
+		// Entering: smallest index with positive reduced cost (the cost
+		// row is sorted by column, so the first positive entry wins).
+		enter := int32(-1)
+		for k, c := range t.cost.col {
+			if int(c) < t.ncols && t.cost.val[k].n > 0 {
+				enter = c
+				break
+			}
+		}
+		if enter < 0 {
+			// Optimal. Normalize stored objective value to +z.
+			if t.cost.rhs.n == math.MinInt64 {
+				return 0, errOverflow
+			}
+			t.cost.rhs.n = -t.cost.rhs.n
+			return Optimal, nil
+		}
+		// Leaving: min ratio rhs/a over a > 0; ties by smallest basis var.
+		leave := -1
+		var best rat64
+		for r := range t.rows {
+			a := t.rows[r].at(enter)
+			if a.sign() <= 0 {
+				continue
+			}
+			inv, ok := mkRat64(a.d, a.n)
+			if !ok {
+				return 0, errOverflow
+			}
+			ratio, ok := t.rows[r].rhs.mul(inv)
+			if !ok {
+				return 0, errOverflow
+			}
+			switch {
+			case leave < 0 || ratio.cmp(best) < 0:
+				leave = r
+				best = ratio
+			case ratio.cmp(best) == 0 && t.basis[r] < t.basis[leave]:
+				leave = r
+			}
+		}
+		if leave < 0 {
+			return Unbounded, nil
+		}
+		if err := t.pivot(leave, enter); err != nil {
+			return 0, err
+		}
+		*t.pivots++
+	}
+	panic("ilp: simplex exceeded pivot budget (cycling bug)")
+}
+
+// evictArtificials pivots artificial variables out of the basis after a
+// successful phase 1, dropping redundant rows, then truncates the
+// artificial columns.
+func (t *ftab) evictArtificials(firstArt int) error {
+	// Pivot first, compact after: pivots rewrite rows in place, so kept
+	// rows must stay aliased to t.rows until all pivots are done.
+	keep := make([]int, 0, len(t.rows))
+	for r := range t.rows {
+		if t.basis[r] < firstArt {
+			keep = append(keep, r)
+			continue
+		}
+		// Artificial basic at value 0 (phase 1 succeeded): pivot on the
+		// smallest non-artificial column with nonzero coefficient, else
+		// the row is redundant and dropped.
+		if cols := t.rows[r].col; len(cols) > 0 && int(cols[0]) < firstArt {
+			if err := t.pivot(r, cols[0]); err != nil {
+				return err
+			}
+			keep = append(keep, r)
+		}
+	}
+	rows := make([]srow, len(keep))
+	basis := make([]int, len(keep))
+	for i, r := range keep {
+		rows[i] = t.rows[r]
+		basis[i] = t.basis[r]
+	}
+	t.rows = rows
+	t.basis = basis
+	t.ncols = firstArt
+	for r := range t.rows {
+		row := &t.rows[r]
+		cut, _ := slices.BinarySearch(row.col, int32(firstArt))
+		row.col = row.col[:cut]
+		row.val = row.val[:cut]
+	}
+	return nil
+}
+
+// fastLPResult carries an LP outcome in fast arithmetic.
+type fastLPResult struct {
+	status Status
+	x      []rat64
+	value  rat64
+}
+
+// buildStandard converts the model under the given bounds into tableau
+// rows with the oracle's exact column layout. It returns ok=false when
+// some variable's bounds are contradictory (the LP is then trivially
+// infeasible).
+func (m *Model) buildStandard(lower, upper []rat64, upinf []bool) (rows []srow, senses []Sense, ok bool, err error) {
+	n := m.NumVars()
+	for _, c := range m.cons {
+		row := srow{
+			col: make([]int32, len(c.terms.vars), len(c.terms.vars)+2),
+			val: make([]rat64, len(c.terms.vars), len(c.terms.vars)+2),
+			rhs: c.rhs,
+		}
+		for i, v := range c.terms.vars {
+			row.col[i] = int32(v)
+			row.val[i] = c.terms.coef[i]
+			if lower[v].n != 0 {
+				p, okm := c.terms.coef[i].mul(lower[v])
+				if !okm {
+					return nil, nil, false, errOverflow
+				}
+				if row.rhs, okm = row.rhs.sub(p); !okm {
+					return nil, nil, false, errOverflow
+				}
+			}
+		}
+		rows = append(rows, row)
+		senses = append(senses, c.sense)
+	}
+	for v := 0; v < n; v++ {
+		if upinf[v] {
+			continue
+		}
+		span, okm := upper[v].sub(lower[v])
+		if !okm {
+			return nil, nil, false, errOverflow
+		}
+		if span.sign() < 0 {
+			return nil, nil, false, nil
+		}
+		rows = append(rows, srow{
+			col: append(make([]int32, 0, 3), int32(v)),
+			val: append(make([]rat64, 0, 3), r64One),
+			rhs: span,
+		})
+		senses = append(senses, LE)
+	}
+	// Normalize RHS >= 0.
+	for i := range rows {
+		if rows[i].rhs.sign() >= 0 {
+			continue
+		}
+		if rows[i].rhs.n == math.MinInt64 {
+			return nil, nil, false, errOverflow
+		}
+		rows[i].rhs.n = -rows[i].rhs.n
+		for k := range rows[i].val {
+			if rows[i].val[k].n == math.MinInt64 {
+				return nil, nil, false, errOverflow
+			}
+			rows[i].val[k].n = -rows[i].val[k].n
+		}
+		switch senses[i] {
+		case LE:
+			senses[i] = GE
+		case GE:
+			senses[i] = LE
+		}
+	}
+	return rows, senses, true, nil
+}
+
+// fastLP solves the LP relaxation under the given bounds in int64
+// arithmetic. A non-nil reuse with a matching key skips standard-form
+// construction and phase 1 by restoring the cached feasible tableau.
+func (m *Model) fastLP(lower, upper []rat64, upinf []bool, reuse *Reuse, reuseKey []int64, pivots *int) (fastLPResult, error) {
+	n := m.NumVars()
+	t := &ftab{pivots: pivots}
+	warm := false
+	if reuse != nil {
+		if rows, basis, ncols, ok := reuse.take(reuseKey); ok {
+			t.rows, t.basis, t.ncols = rows, basis, ncols
+			warm = true
+		}
+	}
+	if !warm {
+		rows, senses, ok, err := m.buildStandard(lower, upper, upinf)
+		if err != nil {
+			return fastLPResult{}, err
+		}
+		if !ok {
+			return fastLPResult{status: Infeasible}, nil
+		}
+		// Column layout: [0,n) structural, then slacks/surplus, then
+		// artificials.
+		nSlack, nArt := 0, 0
+		for _, s := range senses {
+			if s != EQ {
+				nSlack++
+			}
+			if s != LE {
+				nArt++
+			}
+		}
+		t.ncols = n + nSlack + nArt
+		slackAt, artAt := n, n+nSlack
+		for i := range rows {
+			basic := -1
+			switch senses[i] {
+			case LE:
+				rows[i].col = append(rows[i].col, int32(slackAt))
+				rows[i].val = append(rows[i].val, r64One)
+				basic = slackAt
+				slackAt++
+			case GE:
+				rows[i].col = append(rows[i].col, int32(slackAt))
+				rows[i].val = append(rows[i].val, rat64{-1, 1})
+				slackAt++
+				rows[i].col = append(rows[i].col, int32(artAt))
+				rows[i].val = append(rows[i].val, r64One)
+				basic = artAt
+				artAt++
+			case EQ:
+				rows[i].col = append(rows[i].col, int32(artAt))
+				rows[i].val = append(rows[i].val, r64One)
+				basic = artAt
+				artAt++
+			}
+			t.basis = append(t.basis, basic)
+		}
+		t.rows = rows
+		if nArt > 0 {
+			// Phase 1: maximize -(sum of artificials).
+			p1 := srow{col: make([]int32, nArt), val: make([]rat64, nArt), rhs: r64Zero}
+			for i := 0; i < nArt; i++ {
+				p1.col[i] = int32(n + nSlack + i)
+				p1.val[i] = rat64{-1, 1}
+			}
+			t.cost = p1
+			if err := t.priceOut(); err != nil {
+				return fastLPResult{}, err
+			}
+			st, err := t.run()
+			if err != nil {
+				return fastLPResult{}, err
+			}
+			if st != Optimal {
+				return fastLPResult{}, fmt.Errorf("phase-1 simplex returned %v", st)
+			}
+			if t.cost.rhs.n != 0 {
+				return fastLPResult{status: Infeasible}, nil
+			}
+			if err := t.evictArtificials(n + nSlack); err != nil {
+				return fastLPResult{}, err
+			}
+		}
+		if reuse != nil {
+			reuse.put(reuseKey, t.rows, t.basis, t.ncols)
+		}
+	}
+	// Phase 2: real objective.
+	obj := m.objective
+	cost := srow{col: make([]int32, 0, obj.Len()), val: make([]rat64, 0, obj.Len()), rhs: r64Zero}
+	for i, v := range obj.vars {
+		if int(v) < t.ncols {
+			cost.col = append(cost.col, int32(v))
+			cost.val = append(cost.val, obj.coef[i])
+		}
+	}
+	t.cost = cost
+	if err := t.priceOut(); err != nil {
+		return fastLPResult{}, err
+	}
+	st, err := t.run()
+	if err != nil {
+		return fastLPResult{}, err
+	}
+	if st != Optimal {
+		return fastLPResult{status: st}, nil
+	}
+	// Extract the solution in original coordinates.
+	x := make([]rat64, n)
+	copy(x, lower)
+	for r, b := range t.basis {
+		if b < n {
+			v, ok := lower[b].add(t.rows[r].rhs)
+			if !ok {
+				return fastLPResult{}, errOverflow
+			}
+			x[b] = v
+		}
+	}
+	value := r64Zero
+	for i, v := range obj.vars {
+		p, ok := obj.coef[i].mul(x[v])
+		if !ok {
+			return fastLPResult{}, errOverflow
+		}
+		if value, ok = value.add(p); !ok {
+			return fastLPResult{}, errOverflow
+		}
+	}
+	return fastLPResult{status: Optimal, x: x, value: value}, nil
+}
+
+// fastSolve runs branch and bound entirely in int64 arithmetic. It
+// returns errOverflow when any intermediate value leaves the range; the
+// dispatcher then falls back to the big.Rat oracle.
+func (m *Model) fastSolve(reuse *Reuse, reuseKey []int64) (*Solution, error) {
+	pivots := 0
+	lower := slices.Clone(m.lower)
+	upper := slices.Clone(m.upper)
+	upinf := slices.Clone(m.upinf)
+	root, err := m.fastLP(lower, upper, upinf, reuse, reuseKey, &pivots)
+	if err != nil {
+		return nil, err
+	}
+	if root.status != Optimal {
+		return &Solution{Status: root.status, Nodes: 1, Pivots: pivots}, nil
+	}
+	var best *fastLPResult
+	nodes := 0
+	half := rat64{1, 2}
+
+	var descend func(lower, upper []rat64, upinf []bool, lp fastLPResult) error
+	descend = func(lower, upper []rat64, upinf []bool, lp fastLPResult) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("ilp: branch-and-bound exceeded %d nodes", maxNodes)
+		}
+		if best != nil && lp.value.cmp(best.value) <= 0 {
+			return nil // cannot beat the incumbent
+		}
+		// Find the most fractional integer variable: |frac(x) - 1/2|
+		// smallest, first index winning ties.
+		branch := -1
+		var branchDist rat64
+		for v := range m.integer {
+			if !m.integer[v] || lp.x[v].isInt() {
+				continue
+			}
+			fl := lp.x[v].floor()
+			f, ok := lp.x[v].sub(rat64{fl, 1})
+			if !ok {
+				return errOverflow
+			}
+			dist, ok := f.sub(half)
+			if !ok {
+				return errOverflow
+			}
+			if dist.n < 0 {
+				dist.n = -dist.n
+			}
+			if branch < 0 || dist.cmp(branchDist) < 0 {
+				branch = v
+				branchDist = dist
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			if best == nil || lp.value.cmp(best.value) > 0 {
+				best = &lp
+			}
+			return nil
+		}
+		fl := rat64{lp.x[branch].floor(), 1}
+		// Down branch: x <= floor.
+		dLower := slices.Clone(lower)
+		dUpper := slices.Clone(upper)
+		dUpinf := slices.Clone(upinf)
+		if dUpinf[branch] || dUpper[branch].cmp(fl) > 0 {
+			dUpper[branch] = fl
+			dUpinf[branch] = false
+		}
+		if dLower[branch].cmp(dUpper[branch]) <= 0 {
+			lp2, err := m.fastLP(dLower, dUpper, dUpinf, nil, nil, &pivots)
+			if err != nil {
+				return err
+			}
+			if lp2.status == Optimal {
+				if err := descend(dLower, dUpper, dUpinf, lp2); err != nil {
+					return err
+				}
+			}
+		}
+		// Up branch: x >= floor+1.
+		if fl.n == math.MaxInt64 {
+			return errOverflow
+		}
+		uLower := slices.Clone(lower)
+		uUpper := slices.Clone(upper)
+		uUpinf := slices.Clone(upinf)
+		lo := rat64{fl.n + 1, 1}
+		if uLower[branch].cmp(lo) < 0 {
+			uLower[branch] = lo
+		}
+		if uUpinf[branch] || uLower[branch].cmp(uUpper[branch]) <= 0 {
+			lp2, err := m.fastLP(uLower, uUpper, uUpinf, nil, nil, &pivots)
+			if err != nil {
+				return err
+			}
+			if lp2.status == Optimal {
+				if err := descend(uLower, uUpper, uUpinf, lp2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := descend(lower, upper, upinf, root); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible, Nodes: nodes, Pivots: pivots}, nil
+	}
+	return best.solution(nodes, pivots), nil
+}
+
+// solution converts a fast LP result to the public exact form.
+func (r *fastLPResult) solution(nodes, pivots int) *Solution {
+	xs := make([]*big.Rat, len(r.x))
+	for i := range r.x {
+		xs[i] = r.x[i].Rat()
+	}
+	return &Solution{Status: Optimal, Value: r.value.Rat(), X: xs, Nodes: nodes, Pivots: pivots}
+}

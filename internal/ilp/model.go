@@ -1,13 +1,16 @@
-// Package ilp provides an exact integer linear programming solver built on
-// math/big rational arithmetic: a two-phase primal simplex for the LP
-// relaxation and depth-first branch and bound for integrality.
+// Package ilp provides an exact integer linear programming solver for
+// the IPET models at the heart of static WCET analysis: a two-phase
+// primal simplex for the LP relaxation and depth-first branch and bound
+// for integrality, offline and self-contained — no external solver.
 //
-// It exists because the Implicit Path Enumeration Technique (IPET) at the
-// heart of static WCET analysis formulates the longest-path problem as an
-// ILP, and the paratime toolkit is offline and self-contained — no external
-// solver. Exact rationals sidestep the numerical-tolerance pitfalls of
-// floating-point simplex at the modest model sizes IPET produces
-// (hundreds of variables and constraints).
+// The hot path runs on a sparse tableau over overflow-checked int64
+// rationals (IPET models are all-integer, so machine words suffice in
+// practice); any arithmetic overflow aborts the fast solve and the model
+// is re-solved by the retired dense math/big oracle, which remains the
+// exact reference the fast path is differentially tested against. Both
+// paths implement the same pivoting rules (Bland's entering rule, min
+// ratio with smallest-basis tie break, identical branching order), so
+// they produce identical solutions, not merely identical objectives.
 package ilp
 
 import (
@@ -41,65 +44,99 @@ func (s Sense) String() string {
 	}
 }
 
-// Lin is a sparse linear expression Σ coef·var.
-type Lin map[Var]*big.Rat
+// Lin is a sparse linear expression Σ coef·var, kept sorted by variable
+// index, so iteration — and therefore rendering — is deterministic by
+// construction. Coefficients are exact int64 rationals; values outside
+// that range panic (IPET models never produce them).
+type Lin struct {
+	vars []Var
+	coef []rat64
+}
 
 // NewLin returns an empty linear expression.
-func NewLin() Lin { return Lin{} }
+func NewLin() *Lin { return &Lin{} }
 
-// Add accumulates coef·v into the expression and returns it for chaining.
-func (l Lin) Add(v Var, coef *big.Rat) Lin {
-	if c, ok := l[v]; ok {
-		c.Add(c, coef)
-		if c.Sign() == 0 {
-			delete(l, v)
+// Len returns the number of (nonzero) terms.
+func (l *Lin) Len() int { return len(l.vars) }
+
+// addRat accumulates c·v, keeping terms sorted and dropping zeros.
+func (l *Lin) addRat(v Var, c rat64) *Lin {
+	if c.n == 0 {
+		return l
+	}
+	i, ok := slices.BinarySearch(l.vars, v)
+	if ok {
+		s, okAdd := l.coef[i].add(c)
+		if !okAdd {
+			panic("ilp: Lin coefficient overflows int64")
+		}
+		if s.n == 0 {
+			l.vars = slices.Delete(l.vars, i, i+1)
+			l.coef = slices.Delete(l.coef, i, i+1)
+		} else {
+			l.coef[i] = s
 		}
 		return l
 	}
-	if coef.Sign() != 0 {
-		l[v] = new(big.Rat).Set(coef)
-	}
+	l.vars = slices.Insert(l.vars, i, v)
+	l.coef = slices.Insert(l.coef, i, c)
 	return l
 }
 
+// Add accumulates coef·v into the expression and returns it for chaining.
+// The coefficient must fit an int64 rational.
+func (l *Lin) Add(v Var, coef *big.Rat) *Lin {
+	c, ok := rat64FromBig(coef)
+	if !ok {
+		panic(fmt.Sprintf("ilp: coefficient %s does not fit int64", coef.RatString()))
+	}
+	return l.addRat(v, c)
+}
+
 // AddInt accumulates an integer coefficient.
-func (l Lin) AddInt(v Var, coef int64) Lin { return l.Add(v, big.NewRat(coef, 1)) }
+func (l *Lin) AddInt(v Var, coef int64) *Lin { return l.addRat(v, rat64{coef, 1}) }
+
+// Coef returns the coefficient of v, or nil if absent.
+func (l *Lin) Coef(v Var) *big.Rat {
+	if i, ok := slices.BinarySearch(l.vars, v); ok {
+		return l.coef[i].Rat()
+	}
+	return nil
+}
 
 // Clone returns a deep copy.
-func (l Lin) Clone() Lin {
-	out := make(Lin, len(l))
-	for v, c := range l {
-		out[v] = new(big.Rat).Set(c)
-	}
-	return out
+func (l *Lin) Clone() *Lin {
+	return &Lin{vars: slices.Clone(l.vars), coef: slices.Clone(l.coef)}
 }
 
 // Eval evaluates the expression at the given point.
-func (l Lin) Eval(x []*big.Rat) *big.Rat {
+func (l *Lin) Eval(x []*big.Rat) *big.Rat {
 	sum := new(big.Rat)
 	t := new(big.Rat)
-	for v, c := range l {
-		sum.Add(sum, t.Mul(c, x[v]))
+	for i, v := range l.vars {
+		sum.Add(sum, t.Mul(l.coef[i].Rat(), x[v]))
 	}
-	return new(big.Rat).Set(sum)
+	return sum
 }
 
 type constraint struct {
 	name  string
-	terms Lin
+	terms *Lin
 	sense Sense
-	rhs   *big.Rat
+	rhs   rat64
 }
 
 // Model is an ILP/LP model. Variables have a finite lower bound
 // (default 0) and an optional upper bound; integrality is per-variable.
 // The objective is always maximized (negate coefficients to minimize).
+// All inputs must fit int64 rationals.
 type Model struct {
-	names     []string
+	names     []string // "" = lazily derived "v%d"
 	integer   []bool
-	lower     []*big.Rat
-	upper     []*big.Rat // nil = +inf
-	objective Lin
+	lower     []rat64
+	upper     []rat64 // valid only where upinf is false
+	upinf     []bool  // true = +inf
+	objective *Lin
 	cons      []constraint
 }
 
@@ -112,12 +149,15 @@ func (m *Model) NumVars() int { return len(m.names) }
 // NumCons returns the number of constraints.
 func (m *Model) NumCons() int { return len(m.cons) }
 
-// AddVar adds a continuous variable with bounds [0, +inf).
+// AddVar adds a continuous variable with bounds [0, +inf). An empty name
+// is allowed: Name derives "v%d" lazily, keeping hot model construction
+// free of string formatting.
 func (m *Model) AddVar(name string) Var {
 	m.names = append(m.names, name)
 	m.integer = append(m.integer, false)
-	m.lower = append(m.lower, new(big.Rat))
-	m.upper = append(m.upper, nil)
+	m.lower = append(m.lower, r64Zero)
+	m.upper = append(m.upper, r64Zero)
+	m.upinf = append(m.upinf, true)
 	return Var(len(m.names) - 1)
 }
 
@@ -128,98 +168,123 @@ func (m *Model) AddIntVar(name string) Var {
 	return v
 }
 
-// SetBounds sets the variable bounds; upper may be nil for +inf. The lower
-// bound must be finite and ≤ upper.
+// SetBounds sets the variable bounds; upper may be nil for +inf. The
+// lower bound must be finite.
 func (m *Model) SetBounds(v Var, lower, upper *big.Rat) {
-	if lower == nil {
-		lower = new(big.Rat)
+	lo := r64Zero
+	if lower != nil {
+		var ok bool
+		if lo, ok = rat64FromBig(lower); !ok {
+			panic(fmt.Sprintf("ilp: lower bound %s does not fit int64", lower.RatString()))
+		}
 	}
-	m.lower[v] = new(big.Rat).Set(lower)
+	m.lower[v] = lo
 	if upper == nil {
-		m.upper[v] = nil
-	} else {
-		m.upper[v] = new(big.Rat).Set(upper)
+		m.upper[v] = r64Zero
+		m.upinf[v] = true
+		return
 	}
+	up, ok := rat64FromBig(upper)
+	if !ok {
+		panic(fmt.Sprintf("ilp: upper bound %s does not fit int64", upper.RatString()))
+	}
+	m.upper[v] = up
+	m.upinf[v] = false
 }
 
-// Name returns the variable's name.
-func (m *Model) Name(v Var) string { return m.names[v] }
+// Name returns the variable's name ("v%d" when none was given).
+func (m *Model) Name(v Var) string {
+	if m.names[v] != "" {
+		return m.names[v]
+	}
+	return fmt.Sprintf("v%d", int(v))
+}
 
 // AddConstraint appends a constraint. The terms are copied.
-func (m *Model) AddConstraint(name string, terms Lin, sense Sense, rhs *big.Rat) {
-	m.cons = append(m.cons, constraint{
-		name:  name,
-		terms: terms.Clone(),
-		sense: sense,
-		rhs:   new(big.Rat).Set(rhs),
-	})
+func (m *Model) AddConstraint(name string, terms *Lin, sense Sense, rhs *big.Rat) {
+	r, ok := rat64FromBig(rhs)
+	if !ok {
+		panic(fmt.Sprintf("ilp: rhs %s does not fit int64", rhs.RatString()))
+	}
+	m.cons = append(m.cons, constraint{name: name, terms: terms.Clone(), sense: sense, rhs: r})
 }
 
 // AddConstraintInt is AddConstraint with an integer right-hand side.
-func (m *Model) AddConstraintInt(name string, terms Lin, sense Sense, rhs int64) {
-	m.AddConstraint(name, terms, sense, big.NewRat(rhs, 1))
+func (m *Model) AddConstraintInt(name string, terms *Lin, sense Sense, rhs int64) {
+	m.cons = append(m.cons, constraint{name: name, terms: terms.Clone(), sense: sense, rhs: rat64{rhs, 1}})
 }
 
 // SetObjective replaces the (maximized) objective.
-func (m *Model) SetObjective(terms Lin) { m.objective = terms.Clone() }
+func (m *Model) SetObjective(terms *Lin) { m.objective = terms.Clone() }
 
 // Clone returns a deep copy of the model.
 func (m *Model) Clone() *Model {
 	c := &Model{
-		names:     append([]string(nil), m.names...),
-		integer:   append([]bool(nil), m.integer...),
+		names:     slices.Clone(m.names),
+		integer:   slices.Clone(m.integer),
+		lower:     slices.Clone(m.lower),
+		upper:     slices.Clone(m.upper),
+		upinf:     slices.Clone(m.upinf),
 		objective: m.objective.Clone(),
+		cons:      make([]constraint, len(m.cons)),
 	}
-	c.lower = make([]*big.Rat, len(m.lower))
-	c.upper = make([]*big.Rat, len(m.upper))
-	for i := range m.lower {
-		c.lower[i] = new(big.Rat).Set(m.lower[i])
-		if m.upper[i] != nil {
-			c.upper[i] = new(big.Rat).Set(m.upper[i])
-		}
-	}
-	c.cons = make([]constraint, len(m.cons))
 	for i, con := range m.cons {
-		c.cons[i] = constraint{name: con.name, terms: con.terms.Clone(), sense: con.sense, rhs: new(big.Rat).Set(con.rhs)}
+		c.cons[i] = constraint{name: con.name, terms: con.terms.Clone(), sense: con.sense, rhs: con.rhs}
 	}
 	return c
 }
 
-// String renders the model in LP-like text form for debugging.
+// Fork returns a shallow extension point for the model: the receiver's
+// variables and constraints are shared (copy-on-append — every slice is
+// capacity-clipped, so appending to the fork never mutates the parent),
+// and new variables, constraints and a new objective can be added
+// cheaply. Fork is how an immutable compiled skeleton (flow structure
+// built once per CFG) is specialized into per-scenario instances; it is
+// safe to Fork one parent from many goroutines concurrently, provided
+// the parent is no longer mutated directly.
+func (m *Model) Fork() *Model {
+	return &Model{
+		names:     slices.Clip(m.names),
+		integer:   slices.Clip(m.integer),
+		lower:     slices.Clip(m.lower),
+		upper:     slices.Clip(m.upper),
+		upinf:     slices.Clip(m.upinf),
+		objective: m.objective, // replaced via SetObjective before solving
+		cons:      slices.Clip(m.cons),
+	}
+}
+
+// String renders the model in LP-like text form for debugging. Output is
+// deterministic: Lin terms are sorted by variable index by construction.
 func (m *Model) String() string {
 	var sb strings.Builder
 	sb.WriteString("max ")
 	sb.WriteString(m.linString(m.objective))
 	sb.WriteString("\ns.t.\n")
 	for _, c := range m.cons {
-		fmt.Fprintf(&sb, "  %s: %s %s %s\n", c.name, m.linString(c.terms), c.sense, c.rhs.RatString())
+		fmt.Fprintf(&sb, "  %s: %s %s %s\n", c.name, m.linString(c.terms), c.sense, c.rhs.Rat().RatString())
 	}
 	for i := range m.names {
 		up := "+inf"
-		if m.upper[i] != nil {
-			up = m.upper[i].RatString()
+		if !m.upinf[i] {
+			up = m.upper[i].Rat().RatString()
 		}
 		kind := ""
 		if m.integer[i] {
 			kind = " int"
 		}
-		fmt.Fprintf(&sb, "  %s in [%s, %s]%s\n", m.names[i], m.lower[i].RatString(), up, kind)
+		fmt.Fprintf(&sb, "  %s in [%s, %s]%s\n", m.Name(Var(i)), m.lower[i].Rat().RatString(), up, kind)
 	}
 	return sb.String()
 }
 
-func (m *Model) linString(l Lin) string {
-	vars := make([]Var, 0, len(l))
-	for v := range l {
-		vars = append(vars, v)
-	}
-	slices.Sort(vars)
-	var parts []string
-	for _, v := range vars {
-		parts = append(parts, fmt.Sprintf("%s*%s", l[v].RatString(), m.names[v]))
-	}
-	if len(parts) == 0 {
+func (m *Model) linString(l *Lin) string {
+	if l.Len() == 0 {
 		return "0"
+	}
+	parts := make([]string, l.Len())
+	for i, v := range l.vars {
+		parts[i] = fmt.Sprintf("%s*%s", l.coef[i].Rat().RatString(), m.Name(v))
 	}
 	return strings.Join(parts, " + ")
 }
@@ -256,6 +321,12 @@ type Solution struct {
 	// Nodes is the number of branch-and-bound nodes explored (1 for a
 	// pure LP).
 	Nodes int
+	// Pivots counts simplex pivots across all LP solves (phase-1 pivots
+	// skipped by a warm-started re-solve are not re-counted).
+	Pivots int
+	// FellBack reports that int64 arithmetic overflowed and the solution
+	// was produced by the exact big.Rat oracle instead.
+	FellBack bool
 }
 
 // ValueFloat returns the objective as a float64 for reporting.

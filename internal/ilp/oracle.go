@@ -5,32 +5,62 @@ import (
 	"math/big"
 )
 
-// maxPivots bounds simplex iterations as a defensive backstop; Bland's
-// rule guarantees termination, so hitting the bound indicates a bug.
-const maxPivots = 1_000_000
+// This file is the retired dense exact-rational solver: the original
+// two-phase big.Rat simplex plus branch and bound, kept as (a) the
+// fallback when the fast int64 path overflows and (b) the oracle the
+// fast path is differentially tested against. It implements exactly the
+// same pivoting and branching rules as the fast path, so the two agree
+// on the full solution vector, not just the objective.
 
-// tableau is a dense exact-rational simplex tableau.
+// rtab is a dense exact-rational simplex tableau.
 //
 // Layout: rows[r][c] for c < ncols are coefficients, rows[r][ncols] is the
 // right-hand side. cost holds reduced costs; cost[ncols] is the current
-// objective value. basis[r] is the variable index basic in row r.
-type tableau struct {
+// objective value (stored as -z until optimality). basis[r] is the
+// variable index basic in row r.
+type rtab struct {
 	rows  [][]*big.Rat
 	cost  []*big.Rat
 	basis []int
 	ncols int
-	nart  int // number of artificial columns (at the end)
 }
 
-// lpResult carries the LP outcome in shifted coordinates.
-type lpResult struct {
-	status Status
-	y      []*big.Rat // structural variable values (shifted by lower bounds)
+// oracleNode is one branch-and-bound subproblem: the shared immutable
+// model plus private bounds.
+type oracleNode struct {
+	m      *Model
+	lower  []*big.Rat
+	upper  []*big.Rat // nil = +inf
+	pivots *int
 }
 
-// solveLP solves the LP relaxation of the model (ignoring integrality).
+func (m *Model) oracleRoot(pivots *int) *oracleNode {
+	n := m.NumVars()
+	nd := &oracleNode{m: m, lower: make([]*big.Rat, n), upper: make([]*big.Rat, n), pivots: pivots}
+	for v := 0; v < n; v++ {
+		nd.lower[v] = m.lower[v].Rat()
+		if !m.upinf[v] {
+			nd.upper[v] = m.upper[v].Rat()
+		}
+	}
+	return nd
+}
+
+func (nd *oracleNode) clone() *oracleNode {
+	c := &oracleNode{m: nd.m, lower: make([]*big.Rat, len(nd.lower)), upper: make([]*big.Rat, len(nd.upper)), pivots: nd.pivots}
+	for v := range nd.lower {
+		c.lower[v] = new(big.Rat).Set(nd.lower[v])
+		if nd.upper[v] != nil {
+			c.upper[v] = new(big.Rat).Set(nd.upper[v])
+		}
+	}
+	return c
+}
+
+// solveLP solves the LP relaxation of the node (ignoring integrality).
 // The returned values are in original coordinates.
-func (m *Model) solveLP() (*Solution, error) {
+func (nd *oracleNode) solveLP() (*Solution, error) {
+	m := nd.m
 	n := m.NumVars()
 	// Shift variables by lower bounds: y = x - l, y >= 0.
 	// Build rows: structural constraints plus upper-bound rows.
@@ -43,18 +73,19 @@ func (m *Model) solveLP() (*Solution, error) {
 	t := new(big.Rat)
 	for _, c := range m.cons {
 		coef := make([]*big.Rat, n)
-		rhs := new(big.Rat).Set(c.rhs)
-		for v, a := range c.terms {
-			coef[v] = new(big.Rat).Set(a)
-			rhs.Sub(rhs, t.Mul(a, m.lower[v]))
+		rhs := c.rhs.Rat()
+		for i, v := range c.terms.vars {
+			a := c.terms.coef[i].Rat()
+			coef[v] = a
+			rhs.Sub(rhs, t.Mul(a, nd.lower[v]))
 		}
 		rows = append(rows, row{coef: coef, sense: c.sense, rhs: rhs})
 	}
 	for v := 0; v < n; v++ {
-		if m.upper[v] == nil {
+		if nd.upper[v] == nil {
 			continue
 		}
-		span := new(big.Rat).Sub(m.upper[v], m.lower[v])
+		span := new(big.Rat).Sub(nd.upper[v], nd.lower[v])
 		if span.Sign() < 0 {
 			return &Solution{Status: Infeasible, Nodes: 1}, nil
 		}
@@ -93,7 +124,7 @@ func (m *Model) solveLP() (*Solution, error) {
 		}
 	}
 	ncols := n + nSlack + nArt
-	tb := &tableau{ncols: ncols, nart: nArt}
+	tb := &rtab{ncols: ncols}
 	slackAt, artAt := n, n+nSlack
 	for _, r := range rows {
 		tr := make([]*big.Rat, ncols+1)
@@ -138,15 +169,13 @@ func (m *Model) solveLP() (*Solution, error) {
 		}
 		tb.cost = phase1
 		tb.priceOut()
-		if st := tb.run(); st != Optimal {
+		if st := tb.run(nd.pivots); st != Optimal {
 			return nil, fmt.Errorf("phase-1 simplex returned %v", st)
 		}
 		if tb.cost[ncols].Sign() != 0 {
 			return &Solution{Status: Infeasible, Nodes: 1}, nil
 		}
-		if err := tb.evictArtificials(n + nSlack); err != nil {
-			return nil, err
-		}
+		tb.evictArtificials(n + nSlack)
 	}
 	// Phase 2: real objective. Note tb.ncols may have shrunk when
 	// artificial columns were evicted.
@@ -154,22 +183,22 @@ func (m *Model) solveLP() (*Solution, error) {
 	for c := range cost {
 		cost[c] = new(big.Rat)
 	}
-	for v, a := range m.objective {
-		cost[v].Set(a)
+	for i, v := range m.objective.vars {
+		cost[v].Set(m.objective.coef[i].Rat())
 	}
 	tb.cost = cost
 	tb.priceOut()
-	if st := tb.run(); st != Optimal {
+	if st := tb.run(nd.pivots); st != Optimal {
 		return &Solution{Status: st, Nodes: 1}, nil
 	}
 	// Extract solution.
 	x := make([]*big.Rat, n)
 	for v := 0; v < n; v++ {
-		x[v] = new(big.Rat).Set(m.lower[v])
+		x[v] = new(big.Rat).Set(nd.lower[v])
 	}
 	for r, b := range tb.basis {
 		if b < n {
-			x[b].Add(m.lower[b], tb.rows[r][tb.ncols])
+			x[b].Add(nd.lower[b], tb.rows[r][tb.ncols])
 		}
 	}
 	return &Solution{Status: Optimal, Value: m.objective.Eval(x), X: x, Nodes: 1}, nil
@@ -177,7 +206,7 @@ func (m *Model) solveLP() (*Solution, error) {
 
 // priceOut rewrites the cost row in terms of nonbasic variables by
 // eliminating the basic columns.
-func (tb *tableau) priceOut() {
+func (tb *rtab) priceOut() {
 	t := new(big.Rat)
 	for r, b := range tb.basis {
 		cb := tb.cost[b]
@@ -191,14 +220,14 @@ func (tb *tableau) priceOut() {
 			}
 		}
 		// cost[ncols] accumulated -f*rhs; objective value convention:
-		// cost[ncols] tracks -z, negate when reading. See value().
+		// cost[ncols] tracks -z, negated to +z at optimality in run.
 	}
 }
 
 // run performs primal simplex pivots with Bland's rule until optimality
 // or unboundedness. The cost row must already be priced out.
-func (tb *tableau) run() Status {
-	for pivots := 0; pivots < maxPivots; pivots++ {
+func (tb *rtab) run(pivots *int) Status {
+	for piv := 0; piv < maxPivots; piv++ {
 		// Entering: smallest index with positive reduced cost.
 		enter := -1
 		for c := 0; c < tb.ncols; c++ {
@@ -234,12 +263,13 @@ func (tb *tableau) run() Status {
 			return Unbounded
 		}
 		tb.pivot(leave, enter)
+		*pivots++
 	}
 	panic("ilp: simplex exceeded pivot budget (cycling bug)")
 }
 
 // pivot makes column c basic in row r.
-func (tb *tableau) pivot(r, c int) {
+func (tb *rtab) pivot(r, c int) {
 	prow := tb.rows[r]
 	inv := new(big.Rat).Inv(prow[c])
 	for j := 0; j <= tb.ncols; j++ {
@@ -270,7 +300,7 @@ func (tb *tableau) pivot(r, c int) {
 
 // evictArtificials pivots artificial variables out of the basis after a
 // successful phase 1, dropping redundant rows.
-func (tb *tableau) evictArtificials(firstArt int) error {
+func (tb *rtab) evictArtificials(firstArt int) {
 	var keepRows [][]*big.Rat
 	var keepBasis []int
 	for r := 0; r < len(tb.rows); r++ {
@@ -302,5 +332,123 @@ func (tb *tableau) evictArtificials(firstArt int) error {
 	for r := range tb.rows {
 		tb.rows[r] = append(tb.rows[r][:firstArt], tb.rows[r][len(tb.rows[r])-1])
 	}
-	return nil
+}
+
+// oracleSolveLP solves the LP relaxation with exact big.Rat arithmetic.
+func (m *Model) oracleSolveLP() (*Solution, error) {
+	pivots := 0
+	sol, err := m.oracleRoot(&pivots).solveLP()
+	if sol != nil {
+		sol.Pivots = pivots
+	}
+	return sol, err
+}
+
+// oracleSolve maximizes the objective with exact big.Rat arithmetic,
+// enforcing integrality by depth-first branch and bound.
+func (m *Model) oracleSolve() (*Solution, error) {
+	pivots := 0
+	rootNode := m.oracleRoot(&pivots)
+	root, err := rootNode.solveLP()
+	if err != nil {
+		return nil, err
+	}
+	if root.Status != Optimal {
+		root.Pivots = pivots
+		return root, nil
+	}
+	var best *Solution
+	nodes := 0
+	half := big.NewRat(1, 2)
+
+	var descend func(node *oracleNode, lp *Solution) error
+	descend = func(node *oracleNode, lp *Solution) error {
+		nodes++
+		if nodes > maxNodes {
+			return fmt.Errorf("ilp: branch-and-bound exceeded %d nodes", maxNodes)
+		}
+		if best != nil && lp.Value.Cmp(best.Value) <= 0 {
+			return nil // cannot beat the incumbent
+		}
+		// Find the most fractional integer variable.
+		branch := -1
+		var branchDist *big.Rat
+		frac := new(big.Rat)
+		for v := range m.integer {
+			if !m.integer[v] || lp.X[v].IsInt() {
+				continue
+			}
+			// Distance from nearest half-integer measures fractionality:
+			// |frac(x) - 1/2| smallest = most fractional.
+			f := fracPart(lp.X[v])
+			frac.Sub(f, half)
+			frac.Abs(frac)
+			if branch < 0 || frac.Cmp(branchDist) < 0 {
+				branch = v
+				branchDist = new(big.Rat).Set(frac)
+			}
+		}
+		if branch < 0 {
+			// Integral: new incumbent.
+			if best == nil || lp.Value.Cmp(best.Value) > 0 {
+				best = lp
+			}
+			return nil
+		}
+		fl := floorRat(lp.X[branch])
+		// Down branch: x <= floor.
+		down := node.clone()
+		upBound := new(big.Rat).Set(fl)
+		if down.upper[branch] == nil || down.upper[branch].Cmp(upBound) > 0 {
+			down.upper[branch] = upBound
+		}
+		if down.lower[branch].Cmp(down.upper[branch]) <= 0 {
+			if lp2, err := down.solveLP(); err != nil {
+				return err
+			} else if lp2.Status == Optimal {
+				if err := descend(down, lp2); err != nil {
+					return err
+				}
+			}
+		}
+		// Up branch: x >= floor+1.
+		up := node.clone()
+		loBound := new(big.Rat).Add(fl, big.NewRat(1, 1))
+		if up.lower[branch].Cmp(loBound) < 0 {
+			up.lower[branch] = loBound
+		}
+		if up.upper[branch] == nil || up.lower[branch].Cmp(up.upper[branch]) <= 0 {
+			if lp2, err := up.solveLP(); err != nil {
+				return err
+			} else if lp2.Status == Optimal {
+				if err := descend(up, lp2); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if err := descend(rootNode, root); err != nil {
+		return nil, err
+	}
+	if best == nil {
+		return &Solution{Status: Infeasible, Nodes: nodes, Pivots: pivots}, nil
+	}
+	best.Nodes = nodes
+	best.Pivots = pivots
+	return best, nil
+}
+
+// fracPart returns x - floor(x) in [0, 1).
+func fracPart(x *big.Rat) *big.Rat {
+	return new(big.Rat).Sub(x, floorRat(x))
+}
+
+// floorRat returns floor(x) as a rational.
+func floorRat(x *big.Rat) *big.Rat {
+	q := new(big.Int).Quo(x.Num(), x.Denom())
+	if x.Sign() < 0 && !x.IsInt() {
+		q.Sub(q, big.NewInt(1))
+	}
+	return new(big.Rat).SetInt(q)
 }

@@ -1,0 +1,74 @@
+package ilp
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+func TestGcd64Positive(t *testing.T) {
+	cases := []struct{ a, b, want int64 }{
+		{12, 18, 6},
+		{-12, 18, 6},
+		{0, 0, 1},
+		{0, 7, 7},
+		{math.MinInt64, 6, 2},
+		{math.MinInt64, 0, 1}, // gcd 2^63 unrepresentable: clamps to 1
+		{math.MinInt64, math.MinInt64, 1},
+		{1, math.MinInt64, 1},
+	}
+	for _, c := range cases {
+		if got := gcd64(c.a, c.b); got != c.want {
+			t.Errorf("gcd64(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+		if got := gcd64(c.a, c.b); got <= 0 {
+			t.Errorf("gcd64(%d, %d) = %d, not positive", c.a, c.b, got)
+		}
+	}
+}
+
+// TestRat64MinInt64IsOverflow: operations whose exact result has a
+// MinInt64 numerator (or that receive MinInt64 components) must report
+// overflow — two's-complement negation of MinInt64 is a no-op, so
+// letting it through would break the d > 0 / reduced invariants and
+// corrupt sign and floor, silently skipping the big.Rat fallback.
+func TestRat64MinInt64IsOverflow(t *testing.T) {
+	// Exact sum is MinInt64/6 — representable range-wise, but rejected.
+	a := rat64{-3074457345618258602, 2}
+	b := rat64{-1, 3}
+	if got, ok := a.add(b); ok {
+		if got.d <= 0 || got.sign() >= 0 {
+			t.Fatalf("add produced corrupt rat64 %+v", got)
+		}
+	}
+	if _, ok := mkRat64(math.MinInt64, 6); ok {
+		t.Error("mkRat64 accepted a MinInt64 numerator")
+	}
+	if _, ok := mkRat64(1, math.MinInt64); ok {
+		t.Error("mkRat64 accepted a MinInt64 denominator")
+	}
+}
+
+// TestSolveNearMinInt64FallsBack: a model that drives the fast path
+// into the MinInt64 corner must return the exact oracle answer with
+// FellBack set, not a corrupted fast result.
+func TestSolveNearMinInt64FallsBack(t *testing.T) {
+	m := NewModel()
+	x := m.AddIntVar("x")
+	m.SetBounds(x, big.NewRat(0, 1), big.NewRat(3, 1))
+	// Objective coefficient -(2^62+...) — sums toward MinInt64.
+	m.SetObjective(NewLin().AddInt(x, -3074457345618258602))
+	m.AddConstraintInt("lo", NewLin().AddInt(x, 1), GE, 3)
+	sol, err := m.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, err := m.SolveOracle()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Status != oracle.Status || sol.Value.Cmp(oracle.Value) != 0 {
+		t.Fatalf("solve %v %s, oracle %v %s", sol.Status, sol.Value.RatString(),
+			oracle.Status, oracle.Value.RatString())
+	}
+}

@@ -1,120 +1,64 @@
 package ilp
 
-import (
-	"fmt"
-	"math/big"
-)
+import "errors"
 
 // maxNodes bounds branch-and-bound exploration. IPET models relax to
 // near-integral network-flow LPs, so realistic solves visit a handful of
 // nodes; the bound catches runaway models.
 const maxNodes = 100_000
 
-// SolveLP solves the LP relaxation only.
-func (m *Model) SolveLP() (*Solution, error) { return m.solveLP() }
+// SolveLP solves the LP relaxation only: on the sparse int64 fast path
+// when the arithmetic fits, falling back to the exact big.Rat oracle on
+// overflow.
+func (m *Model) SolveLP() (*Solution, error) {
+	pivots := 0
+	res, err := m.fastLP(m.lower, m.upper, m.upinf, nil, nil, &pivots)
+	switch {
+	case err == nil:
+		if res.status != Optimal {
+			return &Solution{Status: res.status, Nodes: 1, Pivots: pivots}, nil
+		}
+		return res.solution(1, pivots), nil
+	case errors.Is(err, errOverflow):
+		sol, oerr := m.oracleSolveLP()
+		if sol != nil {
+			sol.FellBack = true
+		}
+		return sol, oerr
+	default:
+		return nil, err
+	}
+}
 
 // Solve maximizes the objective subject to the constraints, enforcing
 // integrality of integer variables by depth-first branch and bound with
-// best-bound pruning.
-func (m *Model) Solve() (*Solution, error) {
-	root, err := m.solveLP()
-	if err != nil {
-		return nil, err
-	}
-	if root.Status != Optimal {
-		return root, nil
-	}
-	var best *Solution
-	nodes := 0
-	half := big.NewRat(1, 2)
+// best-bound pruning. The fast int64 path and the big.Rat fallback use
+// identical pivoting and branching rules, so which one ran is invisible
+// in the solution (only Solution.FellBack tells).
+func (m *Model) Solve() (*Solution, error) { return m.solve(nil, nil) }
 
-	var descend func(node *Model, lp *Solution) error
-	descend = func(node *Model, lp *Solution) error {
-		nodes++
-		if nodes > maxNodes {
-			return fmt.Errorf("ilp: branch-and-bound exceeded %d nodes", maxNodes)
-		}
-		if best != nil && lp.Value.Cmp(best.Value) <= 0 {
-			return nil // cannot beat the incumbent
-		}
-		// Find the most fractional integer variable.
-		branch := -1
-		var branchDist *big.Rat
-		frac := new(big.Rat)
-		for v := range node.integer {
-			if !node.integer[v] || lp.X[v].IsInt() {
-				continue
-			}
-			// Distance from nearest half-integer measures fractionality:
-			// |frac(x) - 1/2| smallest = most fractional.
-			f := fracPart(lp.X[v])
-			frac.Sub(f, half)
-			frac.Abs(frac)
-			if branch < 0 || frac.Cmp(branchDist) < 0 {
-				branch = v
-				branchDist = new(big.Rat).Set(frac)
-			}
-		}
-		if branch < 0 {
-			// Integral: new incumbent.
-			if best == nil || lp.Value.Cmp(best.Value) > 0 {
-				best = lp
-			}
-			return nil
-		}
-		fl := floorRat(lp.X[branch])
-		// Down branch: x <= floor.
-		down := node.Clone()
-		upBound := new(big.Rat).Set(fl)
-		if down.upper[branch] == nil || down.upper[branch].Cmp(upBound) > 0 {
-			down.upper[branch] = upBound
-		}
-		if down.lower[branch].Cmp(down.upper[branch]) <= 0 {
-			if lp2, err := down.solveLP(); err != nil {
-				return err
-			} else if lp2.Status == Optimal {
-				if err := descend(down, lp2); err != nil {
-					return err
-				}
-			}
-		}
-		// Up branch: x >= floor+1.
-		up := node.Clone()
-		loBound := new(big.Rat).Add(fl, big.NewRat(1, 1))
-		if up.lower[branch].Cmp(loBound) < 0 {
-			up.lower[branch] = loBound
-		}
-		if up.upper[branch] == nil || up.lower[branch].Cmp(up.upper[branch]) <= 0 {
-			if lp2, err := up.solveLP(); err != nil {
-				return err
-			} else if lp2.Status == Optimal {
-				if err := descend(up, lp2); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if err := descend(m, root); err != nil {
-		return nil, err
-	}
-	if best == nil {
-		return &Solution{Status: Infeasible, Nodes: nodes}, nil
-	}
-	best.Nodes = nodes
-	return best, nil
+// SolveWithReuse is Solve with a warm-start cache: when key matches the
+// snapshot stored in r, the root LP skips standard-form construction
+// and phase 1 by restoring the cached feasible tableau. The caller must
+// choose key so that equal keys imply identical constraint rows and
+// variable bounds (the objective may differ freely — phase 1 never
+// reads it, which is why a warm solve is bit-identical to a cold one).
+func (m *Model) SolveWithReuse(r *Reuse, key []int64) (*Solution, error) {
+	return m.solve(r, key)
 }
 
-// fracPart returns x - floor(x) in [0, 1).
-func fracPart(x *big.Rat) *big.Rat {
-	return new(big.Rat).Sub(x, floorRat(x))
-}
-
-// floorRat returns floor(x) as a rational.
-func floorRat(x *big.Rat) *big.Rat {
-	q := new(big.Int).Quo(x.Num(), x.Denom())
-	if x.Sign() < 0 && !x.IsInt() {
-		q.Sub(q, big.NewInt(1))
+func (m *Model) solve(reuse *Reuse, reuseKey []int64) (*Solution, error) {
+	sol, err := m.fastSolve(reuse, reuseKey)
+	switch {
+	case err == nil:
+		return sol, nil
+	case errors.Is(err, errOverflow):
+		sol, oerr := m.oracleSolve()
+		if sol != nil {
+			sol.FellBack = true
+		}
+		return sol, oerr
+	default:
+		return nil, err
 	}
-	return new(big.Rat).SetInt(q)
 }

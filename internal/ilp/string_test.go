@@ -1,0 +1,36 @@
+package ilp
+
+import "testing"
+
+// TestModelStringGolden pins the exact rendering of Model.String. Lin
+// terms are stored sorted by variable index, so the output is
+// deterministic by construction (the historical map-backed Lin rendered
+// reproducibly only because it sorted on every call).
+func TestModelStringGolden(t *testing.T) {
+	m := NewModel()
+	x := m.AddIntVar("x_b0")
+	y := m.AddIntVar("e_0")
+	z := m.AddVar("") // lazily named
+	m.SetBounds(y, rat(0, 1), rat(7, 1))
+	m.SetBounds(z, rat(-1, 2), nil)
+	// Insert terms out of index order: rendering must still be sorted.
+	m.AddConstraintInt("in_b0", NewLin().AddInt(y, -1).AddInt(x, 1), EQ, 1)
+	m.AddConstraint("cap", NewLin().AddInt(z, 3).AddInt(x, 2), LE, rat(9, 2))
+	m.SetObjective(NewLin().AddInt(z, 5).AddInt(x, 4))
+
+	const want = `max 4*x_b0 + 5*v2
+s.t.
+  in_b0: 1*x_b0 + -1*e_0 = 1
+  cap: 2*x_b0 + 3*v2 <= 9/2
+  x_b0 in [0, +inf] int
+  e_0 in [0, 7] int
+  v2 in [-1/2, +inf]
+`
+	if got := m.String(); got != want {
+		t.Errorf("Model.String mismatch:\n got:\n%s\nwant:\n%s", got, want)
+	}
+	// Repeated rendering must be identical (determinism).
+	if m.String() != m.String() {
+		t.Error("Model.String is not deterministic")
+	}
+}

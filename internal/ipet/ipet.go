@@ -9,6 +9,16 @@
 // variables (one miss per loop-scope entry, priced at the miss penalty)
 // and per-execution event charges (used for bus/arbiter delay bounds), so
 // the same machinery serves the survey's multicore analyses.
+//
+// The structural part of a model — flow conservation, loop bounds and
+// extra path constraints — depends only on the CFG and its flow facts,
+// while every analysis variant (interference, bypass, locking, bus
+// sweeps) changes only block costs and event charges. A Skeleton
+// compiles the structure once; Skeleton.Solve specializes it per
+// scenario for (amortized) pennies and warm-starts the simplex from the
+// cached feasible basis, since phase 1 never reads the objective.
+// Loop-free graphs without extra constraints bypass the ILP entirely
+// via longest-path dynamic programming.
 package ipet
 
 import (
@@ -28,6 +38,9 @@ import (
 // per entry of the scope loop and at most once per block execution,
 // expressing first-miss semantics.
 type Event struct {
+	// Name is an optional debug label. The solver never reads it — the
+	// hot path must not pay for name construction — so callers may leave
+	// it empty; an event is identified by (Block, Scope).
 	Name    string
 	Block   cfg.BlockID
 	Penalty int64
@@ -50,36 +63,73 @@ type Result struct {
 	WCET        int64
 	BlockCounts map[cfg.BlockID]int64
 	EdgeCounts  map[int]int64
-	EventCounts []int64 // aligned with Problem.Events
+	EventCounts []int64 // aligned with the events passed to Solve
 
-	// ILP statistics.
+	// ILP statistics. A loop-free graph solved by the longest-path fast
+	// path reports the skeleton's model size and Nodes == 1 (the ILP
+	// relaxation of a pure flow problem is integral at the root).
 	Vars, Cons, Nodes int
+	// Pivots counts simplex pivots (0 on the longest-path fast path);
+	// FellBack reports that the solve overflowed int64 arithmetic and
+	// was completed by the exact big.Rat oracle.
+	Pivots   int
+	FellBack bool
 }
 
-// Solve formulates and solves the IPET ILP. Every loop in the graph must
-// carry a bound.
-func Solve(p *Problem) (*Result, error) {
-	g := p.G
+// Skeleton is the compiled, immutable structural part of one CFG's IPET
+// model: variables for every block and edge, flow conservation, loop
+// bounds, and the task's extra path constraints. Building it costs one
+// model construction; each Solve then only swaps objective costs and
+// event rows. A Skeleton is safe for concurrent Solve calls — the batch
+// engine shares one skeleton across all clones of a prepared analysis.
+type Skeleton struct {
+	g        *cfg.Graph
+	base     *ilp.Model
+	blockVar []ilp.Var // indexed by BlockID
+	edgeVar  []ilp.Var // indexed by Edge.ID
+	loopIdx  map[*cfg.Loop]int32
+	extra    []compiledCons
+	dag      bool // loop-free, no extra constraints: DP fast path valid
+	reuse    ilp.Reuse
+}
+
+// compiledCons is one pre-translated extra constraint.
+type compiledCons struct {
+	name  string
+	terms *ilp.Lin
+	sense ilp.Sense
+	rhs   int64
+}
+
+// NewSkeleton compiles the structural IPET model for a graph. Every
+// loop must carry a bound (the bounds are baked into the constraint
+// coefficients, so the skeleton must be rebuilt if they change).
+func NewSkeleton(g *cfg.Graph, extra []flow.Constraint) (*Skeleton, error) {
 	if err := flow.CheckBounded(g); err != nil {
 		return nil, err
 	}
 	m := ilp.NewModel()
-
-	blockVar := make(map[cfg.BlockID]ilp.Var, len(g.Blocks))
-	for _, b := range g.Blocks {
-		blockVar[b.ID] = m.AddIntVar(fmt.Sprintf("x_b%d", b.ID))
+	s := &Skeleton{
+		g:        g,
+		base:     m,
+		blockVar: make([]ilp.Var, len(g.Blocks)),
+		edgeVar:  make([]ilp.Var, len(g.Edges)),
+		loopIdx:  make(map[*cfg.Loop]int32, len(g.Loops)),
+		dag:      len(g.Loops) == 0 && len(extra) == 0,
 	}
-	edgeVar := make(map[int]ilp.Var, len(g.Edges))
+	for _, b := range g.Blocks {
+		s.blockVar[b.ID] = m.AddIntVar(fmt.Sprintf("x_b%d", b.ID))
+	}
 	for _, e := range g.Edges {
-		edgeVar[e.ID] = m.AddIntVar(fmt.Sprintf("e_%d", e.ID))
+		s.edgeVar[e.ID] = m.AddIntVar(fmt.Sprintf("e_%d", e.ID))
 	}
 
 	// Structural constraints: the virtual source enters the entry block
 	// once and the virtual sink leaves the exit block once.
 	for _, b := range g.Blocks {
-		inSum := ilp.NewLin().AddInt(blockVar[b.ID], 1)
+		inSum := ilp.NewLin().AddInt(s.blockVar[b.ID], 1)
 		for _, e := range b.Preds {
-			inSum.AddInt(edgeVar[e.ID], -1)
+			inSum.AddInt(s.edgeVar[e.ID], -1)
 		}
 		inRHS := int64(0)
 		if b == g.Entry {
@@ -87,9 +137,9 @@ func Solve(p *Problem) (*Result, error) {
 		}
 		m.AddConstraintInt(fmt.Sprintf("in_b%d", b.ID), inSum, ilp.EQ, inRHS)
 
-		outSum := ilp.NewLin().AddInt(blockVar[b.ID], 1)
+		outSum := ilp.NewLin().AddInt(s.blockVar[b.ID], 1)
 		for _, e := range b.Succs {
-			outSum.AddInt(edgeVar[e.ID], -1)
+			outSum.AddInt(s.edgeVar[e.ID], -1)
 		}
 		outRHS := int64(0)
 		if b == g.Exit {
@@ -100,55 +150,28 @@ func Solve(p *Problem) (*Result, error) {
 
 	// Loop bounds: back-edge executions per entry.
 	for li, l := range g.Loops {
+		s.loopIdx[l] = int32(li)
 		lhs := ilp.NewLin()
 		for _, e := range l.BackEdges {
-			lhs.AddInt(edgeVar[e.ID], 1)
+			lhs.AddInt(s.edgeVar[e.ID], 1)
 		}
 		for _, e := range l.EntryEdges {
-			lhs.AddInt(edgeVar[e.ID], -int64(l.Bound-1))
+			lhs.AddInt(s.edgeVar[e.ID], -int64(l.Bound-1))
 		}
 		m.AddConstraintInt(fmt.Sprintf("loop%d_bound", li), lhs, ilp.LE, 0)
 	}
 
-	obj := ilp.NewLin()
-	for _, b := range g.Blocks {
-		if c := p.Cost[b.ID]; c != 0 {
-			obj.AddInt(blockVar[b.ID], int64(c))
-		}
-	}
-
-	// Events.
-	eventVars := make([]ilp.Var, len(p.Events))
-	for i, ev := range p.Events {
-		if ev.Scope == nil {
-			// Per-execution charge: fold into the objective directly.
-			obj.AddInt(blockVar[ev.Block], ev.Penalty)
-			eventVars[i] = -1
-			continue
-		}
-		mv := m.AddIntVar(fmt.Sprintf("m_%s", ev.Name))
-		eventVars[i] = mv
-		// At most once per scope entry.
-		lhs := ilp.NewLin().AddInt(mv, 1)
-		for _, e := range ev.Scope.EntryEdges {
-			lhs.AddInt(edgeVar[e.ID], -1)
-		}
-		m.AddConstraintInt(fmt.Sprintf("ps_%s_entries", ev.Name), lhs, ilp.LE, 0)
-		// At most once per block execution.
-		lhs2 := ilp.NewLin().AddInt(mv, 1).AddInt(blockVar[ev.Block], -1)
-		m.AddConstraintInt(fmt.Sprintf("ps_%s_exec", ev.Name), lhs2, ilp.LE, 0)
-		obj.AddInt(mv, ev.Penalty)
-	}
-
-	// Extra flow constraints.
-	for i, c := range p.Extra {
+	// Extra flow constraints, pre-translated once. They are appended to
+	// each instance after its event rows, preserving the historical
+	// model layout (events before extras).
+	for _, c := range extra {
 		lhs := ilp.NewLin()
-		for _, t := range c.Terms {
+		for i, t := range c.Terms {
 			switch {
 			case t.Block != nil:
-				lhs.AddInt(blockVar[t.Block.ID], t.Coef)
+				lhs.AddInt(s.blockVar[t.Block.ID], t.Coef)
 			case t.Edge != nil:
-				lhs.AddInt(edgeVar[t.Edge.ID], t.Coef)
+				lhs.AddInt(s.edgeVar[t.Edge.ID], t.Coef)
 			default:
 				return nil, fmt.Errorf("constraint %q term %d has neither block nor edge", c.Name, i)
 			}
@@ -162,11 +185,98 @@ func Solve(p *Problem) (*Result, error) {
 		default:
 			sense = ilp.EQ
 		}
-		m.AddConstraintInt(fmt.Sprintf("extra_%s", c.Name), lhs, sense, c.RHS)
+		s.extra = append(s.extra, compiledCons{
+			name:  fmt.Sprintf("extra_%s", c.Name),
+			terms: lhs,
+			sense: sense,
+			rhs:   c.RHS,
+		})
+	}
+	return s, nil
+}
+
+// Graph returns the CFG the skeleton was compiled from.
+func (s *Skeleton) Graph() *cfg.Graph { return s.g }
+
+// ReuseStats reports warm-start cache hits and misses of the skeleton's
+// simplex snapshot (for tests and tuning).
+func (s *Skeleton) ReuseStats() (hits, misses uint64) { return s.reuse.Stats() }
+
+// Solve prices the skeleton under the given block costs and event
+// charges and solves for the WCET. It may be called concurrently.
+func (s *Skeleton) Solve(cost map[cfg.BlockID]int, events []Event) (*Result, error) {
+	if s.dag {
+		scoped := false
+		for i := range events {
+			if events[i].Scope != nil {
+				scoped = true
+				break
+			}
+		}
+		if !scoped {
+			if res, ok := s.solveDAG(cost, events); ok {
+				return res, nil
+			}
+		}
+	}
+	g := s.g
+	m := s.base.Fork()
+
+	obj := ilp.NewLin()
+	for _, b := range g.Blocks {
+		if c := cost[b.ID]; c != 0 {
+			obj.AddInt(s.blockVar[b.ID], int64(c))
+		}
+	}
+
+	// Event variables and rows. The reuse key must determine the event
+	// rows exactly: one (block, scope) pair per scoped event, in order.
+	// Penalties live in the objective and so stay out of the key — that
+	// is what makes sweep re-solves warm.
+	eventVars := make([]ilp.Var, len(events))
+	reuseKey := make([]int64, 0, 2*len(events))
+	reuse := &s.reuse
+	for i, ev := range events {
+		if ev.Scope == nil {
+			// Per-execution charge: fold into the objective directly.
+			obj.AddInt(s.blockVar[ev.Block], ev.Penalty)
+			eventVars[i] = -1
+			continue
+		}
+		li, ok := s.loopIdx[ev.Scope]
+		if !ok {
+			// A scope the skeleton does not know cannot be keyed; solve
+			// cold rather than risk a stale warm start.
+			reuse = nil
+			li = -1
+		}
+		mv := m.AddIntVar("")
+		eventVars[i] = mv
+		// At most once per scope entry.
+		lhs := ilp.NewLin().AddInt(mv, 1)
+		for _, e := range ev.Scope.EntryEdges {
+			lhs.AddInt(s.edgeVar[e.ID], -1)
+		}
+		m.AddConstraintInt("", lhs, ilp.LE, 0)
+		// At most once per block execution.
+		lhs2 := ilp.NewLin().AddInt(mv, 1).AddInt(s.blockVar[ev.Block], -1)
+		m.AddConstraintInt("", lhs2, ilp.LE, 0)
+		obj.AddInt(mv, ev.Penalty)
+		reuseKey = append(reuseKey, int64(ev.Block), int64(li))
+	}
+
+	for _, c := range s.extra {
+		m.AddConstraintInt(c.name, c.terms, c.sense, c.rhs)
 	}
 
 	m.SetObjective(obj)
-	sol, err := m.Solve()
+	var sol *ilp.Solution
+	var err error
+	if reuse != nil {
+		sol, err = m.SolveWithReuse(reuse, reuseKey)
+	} else {
+		sol, err = m.Solve()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -177,31 +287,119 @@ func Solve(p *Problem) (*Result, error) {
 		return nil, fmt.Errorf("ipet: model unbounded (missing loop bound?)")
 	}
 	res := &Result{
-		BlockCounts: map[cfg.BlockID]int64{},
-		EdgeCounts:  map[int]int64{},
-		EventCounts: make([]int64, len(p.Events)),
+		BlockCounts: make(map[cfg.BlockID]int64, len(g.Blocks)),
+		EdgeCounts:  make(map[int]int64, len(g.Edges)),
+		EventCounts: make([]int64, len(events)),
 		Vars:        m.NumVars(),
 		Cons:        m.NumCons(),
 		Nodes:       sol.Nodes,
+		Pivots:      sol.Pivots,
+		FellBack:    sol.FellBack,
 	}
 	if !sol.Value.IsInt() {
 		return nil, fmt.Errorf("ipet: non-integral optimum %s", sol.Value.RatString())
 	}
 	res.WCET = ratInt(sol.Value)
 	for _, b := range g.Blocks {
-		res.BlockCounts[b.ID] = ratInt(sol.X[blockVar[b.ID]])
+		res.BlockCounts[b.ID] = ratInt(sol.X[s.blockVar[b.ID]])
 	}
 	for _, e := range g.Edges {
-		res.EdgeCounts[e.ID] = ratInt(sol.X[edgeVar[e.ID]])
+		res.EdgeCounts[e.ID] = ratInt(sol.X[s.edgeVar[e.ID]])
 	}
 	for i, mv := range eventVars {
 		if mv >= 0 {
 			res.EventCounts[i] = ratInt(sol.X[mv])
 		} else {
-			res.EventCounts[i] = res.BlockCounts[p.Events[i].Block]
+			res.EventCounts[i] = res.BlockCounts[events[i].Block]
 		}
 	}
 	return res, nil
+}
+
+// solveDAG computes the loop-free case by longest-path dynamic
+// programming over the reverse post-order, with a traceback supplying
+// the witness path's block and edge counts. Valid only without loops,
+// extra constraints, or scoped events (per-execution event charges fold
+// into the block costs). Returns ok=false when some block is
+// unreachable (the ILP handles that case by forcing zero flow).
+func (s *Skeleton) solveDAG(cost map[cfg.BlockID]int, events []Event) (*Result, bool) {
+	g := s.g
+	eff := make([]int64, len(g.Blocks))
+	for _, b := range g.Blocks {
+		eff[b.ID] = int64(cost[b.ID])
+	}
+	for i := range events {
+		eff[events[i].Block] += events[i].Penalty
+	}
+	best := make([]int64, len(g.Blocks))
+	reached := make([]bool, len(g.Blocks))
+	via := make([]*cfg.Edge, len(g.Blocks)) // argmax predecessor edge
+	for _, b := range g.RPO() {
+		if b == g.Entry {
+			best[b.ID] = eff[b.ID]
+			reached[b.ID] = true
+			continue
+		}
+		chosen := (*cfg.Edge)(nil)
+		var chosenVal int64
+		for _, e := range b.Preds {
+			if !reached[e.From.ID] {
+				continue
+			}
+			if chosen == nil || best[e.From.ID] > chosenVal {
+				chosen = e
+				chosenVal = best[e.From.ID]
+			}
+		}
+		if chosen == nil {
+			return nil, false
+		}
+		best[b.ID] = chosenVal + eff[b.ID]
+		reached[b.ID] = true
+		via[b.ID] = chosen
+	}
+	if !reached[g.Exit.ID] {
+		return nil, false
+	}
+	res := &Result{
+		WCET:        best[g.Exit.ID],
+		BlockCounts: make(map[cfg.BlockID]int64, len(g.Blocks)),
+		EdgeCounts:  make(map[int]int64, len(g.Edges)),
+		EventCounts: make([]int64, len(events)),
+		Vars:        s.base.NumVars(),
+		Cons:        s.base.NumCons(),
+		Nodes:       1,
+	}
+	for _, b := range g.Blocks {
+		res.BlockCounts[b.ID] = 0
+	}
+	for _, e := range g.Edges {
+		res.EdgeCounts[e.ID] = 0
+	}
+	for b := g.Exit; ; {
+		res.BlockCounts[b.ID] = 1
+		e := via[b.ID]
+		if e == nil {
+			break
+		}
+		res.EdgeCounts[e.ID] = 1
+		b = e.From
+	}
+	for i := range events {
+		res.EventCounts[i] = res.BlockCounts[events[i].Block]
+	}
+	return res, true
+}
+
+// Solve formulates and solves the IPET ILP for a one-shot problem.
+// Callers re-pricing the same CFG repeatedly should build a Skeleton
+// once and call its Solve instead.
+func Solve(p *Problem) (*Result, error) {
+	s, err := NewSkeleton(p.G, p.Extra)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(p.Cost, p.Events)
 }
 
 func ratInt(r *big.Rat) int64 {

@@ -1,0 +1,285 @@
+package ipet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"paratime/internal/cfg"
+	"paratime/internal/flow"
+	"paratime/internal/isa"
+)
+
+// TestSkeletonReSolveMatchesFresh: one compiled skeleton re-priced under
+// many cost/event variants must return exactly what a fresh one-shot
+// Solve returns, and the re-solves must hit the warm-start cache.
+func TestSkeletonReSolveMatchesFresh(t *testing.T) {
+	p := benchProblem(t)
+	s, err := NewSkeleton(p.G, p.Extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(61))
+	for variant := 0; variant < 10; variant++ {
+		costs := map[cfg.BlockID]int{}
+		for id := range p.Cost {
+			costs[id] = p.Cost[id] + rng.Intn(9)
+		}
+		events := make([]Event, len(p.Events))
+		copy(events, p.Events)
+		for i := range events {
+			events[i].Penalty = int64(5 + rng.Intn(40))
+		}
+		got, err := s.Solve(costs, events)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := Solve(&Problem{G: p.G, Cost: costs, Events: events, Extra: p.Extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.WCET != want.WCET {
+			t.Fatalf("variant %d: skeleton WCET %d, fresh %d", variant, got.WCET, want.WCET)
+		}
+		if got.Vars != want.Vars || got.Cons != want.Cons || got.Nodes != want.Nodes {
+			t.Fatalf("variant %d: stats (%d,%d,%d) vs fresh (%d,%d,%d)",
+				variant, got.Vars, got.Cons, got.Nodes, want.Vars, want.Cons, want.Nodes)
+		}
+		for id, c := range want.BlockCounts {
+			if got.BlockCounts[id] != c {
+				t.Fatalf("variant %d: block %d count %d, fresh %d", variant, id, got.BlockCounts[id], c)
+			}
+		}
+		for i, c := range want.EventCounts {
+			if got.EventCounts[i] != c {
+				t.Fatalf("variant %d: event %d count %d, fresh %d", variant, i, got.EventCounts[i], c)
+			}
+		}
+	}
+	hits, misses := s.ReuseStats()
+	if hits < 9 {
+		t.Errorf("warm-start hits = %d (misses %d), want >= 9: re-solves with identical rows must reuse phase 1", hits, misses)
+	}
+}
+
+// TestSkeletonWarmSolvesSkipPhase1: a warm re-solve must charge fewer
+// pivots than the cold solve of identical structure.
+func TestSkeletonWarmSolvesSkipPhase1(t *testing.T) {
+	p := benchProblem(t)
+	s, err := NewSkeleton(p.G, p.Extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Solve(p.Cost, p.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Solve(p.Cost, p.Events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.WCET != cold.WCET {
+		t.Fatalf("warm WCET %d != cold %d", warm.WCET, cold.WCET)
+	}
+	if warm.Pivots >= cold.Pivots {
+		t.Errorf("warm solve pivots %d, cold %d: phase 1 was not skipped", warm.Pivots, cold.Pivots)
+	}
+	if cold.FellBack || warm.FellBack {
+		t.Error("IPET-sized model fell back to the big.Rat oracle")
+	}
+}
+
+// TestSkeletonConcurrentSolve hammers one shared skeleton from many
+// goroutines (the batch-engine sharing pattern); run with -race.
+func TestSkeletonConcurrentSolve(t *testing.T) {
+	p := benchProblem(t)
+	s, err := NewSkeleton(p.G, p.Extra)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference results per delta, computed sequentially.
+	want := make([]int64, 8)
+	variantCost := func(d int) map[cfg.BlockID]int {
+		costs := map[cfg.BlockID]int{}
+		for id, c := range p.Cost {
+			costs[id] = c + d
+		}
+		return costs
+	}
+	for d := range want {
+		res, err := Solve(&Problem{G: p.G, Cost: variantCost(d), Events: p.Events, Extra: p.Extra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[d] = res.WCET
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			d := i % 8
+			res, err := s.Solve(variantCost(d), p.Events)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if res.WCET != want[d] {
+				errs[i] = fmt.Errorf("goroutine %d: WCET %d, want %d", i, res.WCET, want[d])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSolveAcyclicMatchesDAGLongest (the routing satellite): on loop-free
+// graphs Solve must take the longest-path fast path and return the same
+// bound as the independent DP, with a consistent witness path and
+// ILP-free statistics.
+func TestSolveAcyclicMatchesDAGLongest(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 20; trial++ {
+		k := 1 + rng.Intn(5)
+		src := "        li r1, 1\n"
+		for i := 0; i < k; i++ {
+			src += fmt.Sprintf("        beq r1, r0, else%d\n", i)
+			for j := 0; j < 1+rng.Intn(3); j++ {
+				src += "        add r2, r2, r1\n"
+			}
+			src += fmt.Sprintf("        j join%d\nelse%d:  addi r3, r3, 1\njoin%d:  add r4, r2, r3\n", i, i, i)
+		}
+		src += "        halt\n"
+		g, err := cfg.Build(isa.MustAssemble("acyclic", src))
+		if err != nil {
+			t.Fatal(err)
+		}
+		costs := map[cfg.BlockID]int{}
+		for _, b := range g.Blocks {
+			costs[b.ID] = rng.Intn(40)
+		}
+		res, err := Solve(&Problem{G: g, Cost: costs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := SolveDAGLongest(g, costs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.WCET != want {
+			t.Fatalf("trial %d: Solve %d != SolveDAGLongest %d", trial, res.WCET, want)
+		}
+		if res.Nodes != 1 || res.Pivots != 0 || res.Vars <= 0 || res.Cons <= 0 {
+			t.Fatalf("trial %d: fast-path stats wrong: %+v", trial, res)
+		}
+		// The witness path must be a unit flow: entry and exit execute
+		// once, and each block's count equals its chosen in-flow.
+		if res.BlockCounts[g.Entry.ID] != 1 || res.BlockCounts[g.Exit.ID] != 1 {
+			t.Fatalf("trial %d: entry/exit counts %d/%d", trial,
+				res.BlockCounts[g.Entry.ID], res.BlockCounts[g.Exit.ID])
+		}
+		var pathCost int64
+		for _, b := range g.Blocks {
+			switch res.BlockCounts[b.ID] {
+			case 0:
+			case 1:
+				pathCost += int64(costs[b.ID])
+				var in, out int64
+				for _, e := range b.Preds {
+					in += res.EdgeCounts[e.ID]
+				}
+				for _, e := range b.Succs {
+					out += res.EdgeCounts[e.ID]
+				}
+				if b != g.Entry && in != 1 {
+					t.Fatalf("trial %d: block %v on path with in-flow %d", trial, b, in)
+				}
+				if b != g.Exit && out != 1 {
+					t.Fatalf("trial %d: block %v on path with out-flow %d", trial, b, out)
+				}
+			default:
+				t.Fatalf("trial %d: block count %d on acyclic graph", trial, res.BlockCounts[b.ID])
+			}
+		}
+		if pathCost != want {
+			t.Fatalf("trial %d: witness path cost %d != WCET %d", trial, pathCost, want)
+		}
+	}
+}
+
+// TestAcyclicPerExecutionEventsFold: unscoped events on loop-free graphs
+// ride the fast path as cost increments.
+func TestAcyclicPerExecutionEventsFold(t *testing.T) {
+	g := buildGraph(t, "li r1, 1\nadd r2, r1, r1\nhalt")
+	base, err := Solve(&Problem{G: g, Cost: unitCosts(g)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Solve(&Problem{
+		G:      g,
+		Cost:   unitCosts(g),
+		Events: []Event{{Block: g.Entry.ID, Penalty: 11}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WCET != base.WCET+11 {
+		t.Fatalf("event added %d, want 11", res.WCET-base.WCET)
+	}
+	if res.EventCounts[0] != 1 {
+		t.Fatalf("event count %d, want 1", res.EventCounts[0])
+	}
+	if res.Pivots != 0 {
+		t.Fatalf("expected DAG fast path (0 pivots), got %d", res.Pivots)
+	}
+}
+
+// TestAcyclicWithExtraConstraintUsesILP: extra path constraints disable
+// the fast path (they can cut the longest path), and the ILP result
+// respects them.
+func TestAcyclicWithExtraConstraintUsesILP(t *testing.T) {
+	g := buildGraph(t, `
+        li  r1, 1
+        beq r1, r0, cheap
+        mul r2, r1, r1
+        mul r2, r2, r2
+        mul r2, r2, r2
+        j   join
+cheap:  addi r2, r0, 1
+join:   halt`)
+	var exp *cfg.Block
+	for _, b := range g.Blocks {
+		if !b.IsExit() && b.Len() == 4 {
+			exp = b
+		}
+	}
+	if exp == nil {
+		t.Fatalf("expensive block not found\n%s", g.Dump())
+	}
+	res, err := Solve(&Problem{
+		G:    g,
+		Cost: unitCosts(g),
+		Extra: []flow.Constraint{{
+			Name:  "ban_expensive",
+			Terms: []flow.Term{{Coef: 1, Block: exp}},
+			Rel:   flow.RelLE,
+			RHS:   0,
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forced onto the cheap side: cond(2) + cheap(1) + join(1) = 4.
+	if res.WCET != 4 {
+		t.Fatalf("WCET %d, want 4 (constraint ignored?)", res.WCET)
+	}
+	if res.Pivots == 0 {
+		t.Fatal("expected ILP path (pivots > 0) when extra constraints present")
+	}
+}
