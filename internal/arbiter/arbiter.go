@@ -155,15 +155,30 @@ func (t *TDMA) grantAfter(core int, at int64) int64 {
 	panic(fmt.Sprintf("arbiter: %s has no slot for core %d", t.name, core))
 }
 
-// Bound implements Arbiter by exact phase enumeration: the worst grant
-// delay over every arrival phase within the period.
+// Bound implements Arbiter exactly, by boundary enumeration. The grant
+// function g(p) = grantAfter(p) is a non-decreasing step function of the
+// arrival phase, so the delay d(p) = g(p) − p is strictly decreasing on
+// every interval where g is constant: d is maximized only at the left
+// edge of such an interval. g changes value exactly where the set of
+// feasible starts changes — at phase 0 and just past the last feasible
+// start of each owned slot (start ≤ p ≤ end−lat) — so it suffices to
+// probe those O(slots) phases instead of every phase in the period.
 func (t *TDMA) Bound(core int) int {
-	worst := int64(0)
-	for phase := int64(0); phase < t.period; phase++ {
-		d := t.grantAfter(core, phase) - phase
-		if d > worst {
-			worst = d
+	worst := t.grantAfter(core, 0) // == d(0); no slot starts at phase −1
+	var start int64
+	for _, s := range t.slots {
+		end := start + int64(s.Len)
+		if s.Owner == core {
+			// First phase whose remaining window no longer fits a
+			// transaction (slots are at least lat long, so this lies
+			// inside or just past the slot).
+			if p := (end - int64(t.lat) + 1) % t.period; p > 0 {
+				if d := t.grantAfter(core, p) - p; d > worst {
+					worst = d
+				}
+			}
 		}
+		start = end
 	}
 	return int(worst)
 }

@@ -1,6 +1,7 @@
 package arbiter
 
 import (
+	"fmt"
 	"math/rand"
 	"sort"
 	"testing"
@@ -223,4 +224,78 @@ func TestConstructorValidation(t *testing.T) {
 	mustPanic(func() { NewTDMA(nil, 1) })
 	mustPanic(func() { NewTDMA([]Slot{{0, 2}}, 3) }) // slot shorter than latency
 	mustPanic(func() { NewMultiBandwidth([]int{1, 0}, 1) })
+}
+
+// bruteForceBound is the retired O(period) implementation of TDMA.Bound:
+// exact enumeration of every arrival phase. It is the oracle the
+// boundary-enumeration rewrite must match bit for bit.
+func bruteForceBound(t *TDMA, core int) int {
+	worst := int64(0)
+	for phase := int64(0); phase < t.Period(); phase++ {
+		d := t.GrantAfter(core, phase) - phase
+		if d > worst {
+			worst = d
+		}
+	}
+	return int(worst)
+}
+
+// TestTDMABoundMatchesBruteForce pins the boundary-enumeration Bound to
+// the phase-exhaustive oracle on the canonical table shapes: PRET
+// wheels, MBBA weighted tables, and random ragged slot tables with
+// multiple slots per owner and idle owners interleaved.
+func TestTDMABoundMatchesBruteForce(t *testing.T) {
+	check := func(name string, tab *TDMA, cores int) {
+		t.Helper()
+		for c := 0; c < cores; c++ {
+			if got, want := tab.Bound(c), bruteForceBound(tab, c); got != want {
+				t.Errorf("%s core %d: Bound %d, brute force %d", name, c, got, want)
+			}
+		}
+	}
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		for _, lat := range []int{1, 2, 7, 16} {
+			check(fmt.Sprintf("wheel n=%d L=%d", n, lat), NewWheel(n, lat), n)
+		}
+	}
+	for _, w := range [][]int{{1, 1}, {4, 2, 1, 1}, {7, 3, 2}, {1, 5}, {2, 2, 2, 1, 1}} {
+		for _, lat := range []int{1, 3, 6} {
+			check(fmt.Sprintf("mbba w=%v L=%d", w, lat), NewMultiBandwidth(w, lat), len(w))
+		}
+	}
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 200; trial++ {
+		lat := 1 + rng.Intn(9)
+		owners := 1 + rng.Intn(4)
+		nslots := 1 + rng.Intn(6)
+		slots := make([]Slot, nslots)
+		for i := range slots {
+			slots[i] = Slot{Owner: rng.Intn(owners), Len: lat + rng.Intn(3*lat)}
+		}
+		// Only owners that appear in the table may be probed (others panic,
+		// in both implementations).
+		present := map[int]bool{}
+		for _, s := range slots {
+			present[s.Owner] = true
+		}
+		tab := NewTDMA(slots, lat)
+		for c := range present {
+			if got, want := tab.Bound(c), bruteForceBound(tab, c); got != want {
+				t.Fatalf("trial %d (%s) core %d: Bound %d, brute force %d\nslots %+v lat %d",
+					trial, tab.Name(), c, got, want, slots, lat)
+			}
+		}
+	}
+}
+
+// TestTDMABoundAdjacentOwnedSlots covers the boundary case where one
+// owner holds consecutive slots, so a window that no longer fits in the
+// first slot is immediately feasible in the second.
+func TestTDMABoundAdjacentOwnedSlots(t *testing.T) {
+	tab := NewTDMA([]Slot{{Owner: 0, Len: 8}, {Owner: 0, Len: 8}, {Owner: 1, Len: 4}}, 4)
+	for c := 0; c < 2; c++ {
+		if got, want := tab.Bound(c), bruteForceBound(tab, c); got != want {
+			t.Errorf("core %d: Bound %d, brute force %d", c, got, want)
+		}
+	}
 }

@@ -99,65 +99,9 @@ func (a *ACS) applyOp(op refOp) {
 	}
 }
 
-// worklist is a deduplicating min-heap of block positions: blocks pop in
-// RPO priority order, which visits loop bodies before re-examining the
-// blocks behind their back edges.
-type worklist struct {
-	heap []int32
-	inq  []bool
-}
-
-func newWorklist(n int) *worklist {
-	return &worklist{heap: make([]int32, 0, n), inq: make([]bool, n)}
-}
-
-func (w *worklist) push(i int) {
-	if w.inq[i] {
-		return
-	}
-	w.inq[i] = true
-	w.heap = append(w.heap, int32(i))
-	c := len(w.heap) - 1
-	for c > 0 {
-		p := (c - 1) / 2
-		if w.heap[p] <= w.heap[c] {
-			break
-		}
-		w.heap[p], w.heap[c] = w.heap[c], w.heap[p]
-		c = p
-	}
-}
-
-func (w *worklist) pop() (int, bool) {
-	if len(w.heap) == 0 {
-		return 0, false
-	}
-	top := w.heap[0]
-	last := len(w.heap) - 1
-	w.heap[0] = w.heap[last]
-	w.heap = w.heap[:last]
-	p := 0
-	for {
-		c := 2*p + 1
-		if c >= last {
-			break
-		}
-		if c+1 < last && w.heap[c+1] < w.heap[c] {
-			c++
-		}
-		if w.heap[p] <= w.heap[c] {
-			break
-		}
-		w.heap[p], w.heap[c] = w.heap[c], w.heap[p]
-		p = c
-	}
-	w.inq[top] = false
-	return int(top), true
-}
-
 // runFixpoint computes the Must or May in-states of every reachable
-// block with a worklist in RPO priority order: a block's in-state is the
-// join of its predecessors' out-states, and only the successors of
+// block with a cfg.Worklist in RPO priority order: a block's in-state is
+// the join of its predecessors' out-states, and only the successors of
 // blocks whose out-state actually changed are re-examined. All states
 // live in preallocated dense vectors and the two scratch states are
 // reused across iterations, so steady-state iteration allocates nothing.
@@ -168,12 +112,12 @@ func (res *Result) runFixpoint(g *cfg.Graph, ops [][]refOp, kind ACSKind, inStat
 	out := make([]*ACS, n)
 	scratchIn := NewACS(res.idx, kind)
 	scratchOut := NewACS(res.idx, kind)
-	wl := newWorklist(n)
+	wl := cfg.NewWorklist(n)
 	for i := range blocks {
-		wl.push(i)
+		wl.Push(i)
 	}
 	for {
-		i, ok := wl.pop()
+		i, ok := wl.Pop()
 		if !ok {
 			break
 		}
@@ -218,7 +162,7 @@ func (res *Result) runFixpoint(g *cfg.Graph, ops [][]refOp, kind ACSKind, inStat
 			out[i].CopyFrom(scratchOut)
 		}
 		for _, e := range b.Succs {
-			wl.push(int(e.To.ID))
+			wl.Push(int(e.To.ID))
 		}
 	}
 	for i, b := range blocks {

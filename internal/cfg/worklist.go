@@ -1,0 +1,63 @@
+package cfg
+
+// Worklist is a deduplicating min-heap of block positions: blocks pop in
+// RPO priority order, which visits loop bodies before re-examining the
+// blocks behind their back edges. It is the shared iteration strategy of
+// the dataflow fixpoints (cache abstract interpretation, pipeline
+// context analysis); since block IDs equal RPO positions, pushing raw
+// block indices yields RPO-ordered pops.
+type Worklist struct {
+	heap []int32
+	inq  []bool
+}
+
+// NewWorklist returns a worklist for n blocks.
+func NewWorklist(n int) *Worklist {
+	return &Worklist{heap: make([]int32, 0, n), inq: make([]bool, n)}
+}
+
+// Push enqueues block position i unless it is already queued.
+func (w *Worklist) Push(i int) {
+	if w.inq[i] {
+		return
+	}
+	w.inq[i] = true
+	w.heap = append(w.heap, int32(i))
+	c := len(w.heap) - 1
+	for c > 0 {
+		p := (c - 1) / 2
+		if w.heap[p] <= w.heap[c] {
+			break
+		}
+		w.heap[p], w.heap[c] = w.heap[c], w.heap[p]
+		c = p
+	}
+}
+
+// Pop dequeues the lowest queued position; ok is false when empty.
+func (w *Worklist) Pop() (int, bool) {
+	if len(w.heap) == 0 {
+		return 0, false
+	}
+	top := w.heap[0]
+	last := len(w.heap) - 1
+	w.heap[0] = w.heap[last]
+	w.heap = w.heap[:last]
+	p := 0
+	for {
+		c := 2*p + 1
+		if c >= last {
+			break
+		}
+		if c+1 < last && w.heap[c+1] < w.heap[c] {
+			c++
+		}
+		if w.heap[p] <= w.heap[c] {
+			break
+		}
+		w.heap[p], w.heap[c] = w.heap[c], w.heap[p]
+		p = c
+	}
+	w.inq[top] = false
+	return int(top), true
+}

@@ -124,6 +124,14 @@ type Analysis struct {
 	// events; it is immutable and shared across Clone, like the graph.
 	Skel *ipet.Skeleton
 
+	// PipeOps is the compiled pipeline model: every instruction lowered
+	// to a flat op array and every block to an op range with
+	// pre-classified edges, built once per CFG during Prepare. EX
+	// latencies stay outside it, so it is valid for any pipeline
+	// parameterization; like Skel, it is immutable and shared across
+	// Clone, and every ComputeWCET runs its context fixpoint on it.
+	PipeOps *pipeline.Compiled
+
 	// Results of ComputeWCET.
 	WCET int64
 	IPET *ipet.Result
@@ -156,6 +164,7 @@ func Prepare(task Task, sys SystemConfig) (*Analysis, error) {
 	if a.Skel, err = ipet.NewSkeleton(g, extra); err != nil {
 		return nil, fmt.Errorf("task %s: %w", task.Name, err)
 	}
+	a.PipeOps = pipeline.Compile(g)
 	a.IStream = cache.FetchStream(g)
 	a.DStream = cache.DataStream(g, a.Addrs)
 	if a.L1I, err = cache.Analyze(g, a.IStream, sys.Mem.L1I); err != nil {
@@ -227,9 +236,9 @@ func (a *Analysis) RecomputeL2() error {
 // every artefact a downstream pass may mutate (the L2 result, CAC map,
 // bypass and override sets, extra IPET events, and the WCET outputs) is
 // copied, while the immutable prefix (graph, flow facts, reference
-// streams, L1 results, the compiled IPET skeleton — and, inside each
-// cache result, the interned-line index, fixpoint states and persistence
-// tables) is shared. Interference re-classification only swaps a clone's
+// streams, L1 results, the compiled IPET skeleton, the compiled
+// pipeline model — and, inside each cache result, the interned-line
+// index, fixpoint states and persistence tables) is shared. Interference re-classification only swaps a clone's
 // classification map and dense shift vector, and bypass rebuilds the
 // clone's L2 result outright, so all of interference, bypass, locking
 // and ComputeWCET on the clone leave the receiver — and every other
@@ -368,12 +377,23 @@ func (a *Analysis) ComputeWCET() error {
 		fetchBase, fetchWorst, memBase, memWorst                 int
 		fetchBaseMiss, fetchWorstMiss, memBaseMiss, memWorstMiss bool
 	}
-	lats := map[cfg.BlockID][]instLat{}
+	// Dense per-block rows (block IDs equal RPO positions) over one flat
+	// backing array: the timing closures below run per instruction per
+	// fixpoint visit, so they index slices instead of hashing block IDs.
+	lats := make([][]instLat, len(a.G.Blocks))
+	total := 0
+	for _, b := range a.G.Blocks {
+		if !b.IsExit() {
+			total += b.Len()
+		}
+	}
+	flat := make([]instLat, total)
 	for _, b := range a.G.Blocks {
 		if b.IsExit() {
 			continue
 		}
-		row := make([]instLat, b.Len())
+		row := flat[:b.Len():b.Len()]
+		flat = flat[b.Len():]
 		dIdx := 0
 		for i, in := range b.Insts() {
 			fid := cache.RefID{Block: b.ID, Seq: i}
@@ -402,7 +422,11 @@ func (a *Analysis) ComputeWCET() error {
 		l := lats[b.ID][i]
 		return pipeline.InstTiming{Fetch: l.fetchWorst, FetchMiss: l.fetchWorstMiss, Mem: l.memWorst, MemMiss: l.memWorstMiss}
 	}
-	pipe, err := pipeline.AnalyzeCosts(a.G, a.Sys.Pipeline, worst, base)
+	if a.PipeOps == nil {
+		// Hand-assembled Analysis (not via Prepare): compile on demand.
+		a.PipeOps = pipeline.Compile(a.G)
+	}
+	pipe, err := a.PipeOps.AnalyzeCosts(a.Sys.Pipeline, worst, base)
 	if err != nil {
 		return err
 	}
@@ -417,7 +441,7 @@ func (a *Analysis) ComputeWCET() error {
 			return err
 		}
 	}
-	res, err := a.Skel.Solve(pipe.Cost, events)
+	res, err := a.Skel.Solve(pipe.Costs(), events)
 	if err != nil {
 		return err
 	}

@@ -203,8 +203,10 @@ func (s *Skeleton) Graph() *cfg.Graph { return s.g }
 func (s *Skeleton) ReuseStats() (hits, misses uint64) { return s.reuse.Stats() }
 
 // Solve prices the skeleton under the given block costs and event
-// charges and solves for the WCET. It may be called concurrently.
-func (s *Skeleton) Solve(cost map[cfg.BlockID]int, events []Event) (*Result, error) {
+// charges and solves for the WCET. cost is a dense vector indexed by
+// block ID (block IDs equal RPO positions), the form the pipeline layer
+// produces. It may be called concurrently.
+func (s *Skeleton) Solve(cost []int, events []Event) (*Result, error) {
 	if s.dag {
 		scoped := false
 		for i := range events {
@@ -322,7 +324,7 @@ func (s *Skeleton) Solve(cost map[cfg.BlockID]int, events []Event) (*Result, err
 // extra constraints, or scoped events (per-execution event charges fold
 // into the block costs). Returns ok=false when some block is
 // unreachable (the ILP handles that case by forcing zero flow).
-func (s *Skeleton) solveDAG(cost map[cfg.BlockID]int, events []Event) (*Result, bool) {
+func (s *Skeleton) solveDAG(cost []int, events []Event) (*Result, bool) {
 	g := s.g
 	eff := make([]int64, len(g.Blocks))
 	for _, b := range g.Blocks {
@@ -399,7 +401,17 @@ func Solve(p *Problem) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.Solve(p.Cost, p.Events)
+	return s.Solve(DenseCosts(p.G, p.Cost), p.Events)
+}
+
+// DenseCosts lowers a per-block cost map to the dense vector
+// Skeleton.Solve consumes (block IDs equal RPO positions).
+func DenseCosts(g *cfg.Graph, cost map[cfg.BlockID]int) []int {
+	dense := make([]int, len(g.Blocks))
+	for id, c := range cost {
+		dense[id] = c
+	}
+	return dense
 }
 
 func ratInt(r *big.Rat) int64 {

@@ -31,7 +31,7 @@ func TestSkeletonReSolveMatchesFresh(t *testing.T) {
 		for i := range events {
 			events[i].Penalty = int64(5 + rng.Intn(40))
 		}
-		got, err := s.Solve(costs, events)
+		got, err := s.Solve(DenseCosts(p.G, costs), events)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -71,11 +71,11 @@ func TestSkeletonWarmSolvesSkipPhase1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cold, err := s.Solve(p.Cost, p.Events)
+	cold, err := s.Solve(DenseCosts(p.G, p.Cost), p.Events)
 	if err != nil {
 		t.Fatal(err)
 	}
-	warm, err := s.Solve(p.Cost, p.Events)
+	warm, err := s.Solve(DenseCosts(p.G, p.Cost), p.Events)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +121,7 @@ func TestSkeletonConcurrentSolve(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			d := i % 8
-			res, err := s.Solve(variantCost(d), p.Events)
+			res, err := s.Solve(DenseCosts(p.G, variantCost(d)), p.Events)
 			if err != nil {
 				errs[i] = err
 				return

@@ -152,6 +152,10 @@ const (
 	ClassBranch // conditional branches
 	ClassJump   // J, CALL, RET
 	ClassHalt
+
+	// NumClasses is the number of pipeline classes; dense per-class
+	// tables (e.g. pipeline.LatTable) are indexed by Class.
+	NumClasses
 )
 
 // String returns a human-readable class name.

@@ -12,8 +12,6 @@
 package pipeline
 
 import (
-	"fmt"
-
 	"paratime/internal/cfg"
 	"paratime/internal/isa"
 )
@@ -147,82 +145,19 @@ type BlockTiming struct {
 //	EXs(i)  = max(IDs(i)+1, MEMs(i-1), ready(srcs))
 //	MEMs(i) = max(EXs(i)+ex(i), WBs(i-1))
 //	WBs(i)  = max(MEMs(i)+mem(i), WBd(i-1))    WBd(i) = WBs(i)+1
+//
+// ExecBlock compiles the block's instructions on the fly and evaluates
+// the same op loop the compiled model and the simulator run; callers
+// pricing whole graphs repeatedly should Compile once and use
+// Compiled.AnalyzeCosts instead.
 func ExecBlock(pc Config, b *cfg.Block, tim TimingFn, in Context) BlockTiming {
 	if b.IsExit() || b.Len() == 0 {
 		return BlockTiming{Dur: 0, Out: in, Resolve: 0}
 	}
-	insts := b.Insts()
-	// Absolute times for the in-flight previous instruction, seeded from
-	// the context: Avail[S] is when stage S accepts a new instruction.
-	prevIDs := in.Avail[IF] // IF frees when prior instruction entered ID
-	prevEXs := in.Avail[ID]
-	prevMEMs := in.Avail[EX]
-	prevWBs := in.Avail[MEM]
-	prevWBd := in.Avail[WB]
-	port := in.Port
-	var ready [isa.NumRegs]int
-	copy(ready[:], in.RegReady[:])
-
-	var lastEXd int
-	for i, inst := range insts {
-		t := tim(b, i)
-		fetch := max(1, t.Fetch)
-		mem := 1
-		if inst.IsMem() {
-			mem = max(1, t.Mem)
-		}
-		ex := pc.exLat(inst)
-
-		ifs := prevIDs
-		var ifd int
-		if t.FetchMiss {
-			start := max(ifs, port)
-			ifd = start + fetch
-			port = ifd
-		} else {
-			ifd = ifs + fetch
-		}
-		ids := max(ifd, prevEXs)
-		exs := max(ids+1, prevMEMs)
-		for _, r := range SrcRegs(inst) {
-			if ready[r] > exs {
-				exs = ready[r]
-			}
-		}
-		mems := max(exs+ex, prevWBs)
-		var memDone int
-		if inst.IsMem() && t.MemMiss {
-			start := max(mems, port)
-			memDone = start + mem
-			port = memDone
-		} else {
-			memDone = mems + mem
-		}
-		wbs := max(memDone, prevWBd)
-		wbd := wbs + 1
-
-		if rd, ok := DstReg(inst); ok {
-			if inst.Op == isa.LD {
-				ready[rd] = memDone // load value forwarded from MEM
-			} else {
-				ready[rd] = exs + ex // ALU result forwarded from EX
-			}
-		}
-		prevIDs, prevEXs, prevMEMs, prevWBs, prevWBd = ids, exs, mems, wbs, wbd
-		lastEXd = exs + ex
-	}
-	dur := prevWBd
-	var out Context
-	out.Avail[IF] = clamp(prevIDs - dur)
-	out.Avail[ID] = clamp(prevEXs - dur)
-	out.Avail[EX] = clamp(prevMEMs - dur)
-	out.Avail[MEM] = clamp(prevWBs - dur)
-	out.Avail[WB] = clamp(prevWBd - dur) // == 0
-	out.Port = clamp(port - dur)
-	for r := range out.RegReady {
-		out.RegReady[r] = clamp(ready[r] - dur)
-	}
-	return BlockTiming{Dur: dur, Out: out, Resolve: lastEXd}
+	lt := pc.Latencies()
+	var bt BlockTiming
+	execOps(&bt, &lt, CompileOps(b.Insts()), b, tim, &in)
+	return bt
 }
 
 // EdgeContext derives the successor's entry context along an edge from
@@ -251,11 +186,27 @@ func isRealTransfer(b *cfg.Block) bool {
 	return op == isa.RET || op == isa.J || op == isa.CALL
 }
 
-// CostResult carries the context fixpoint and per-block worst-case costs.
+// CostResult carries the context fixpoint and per-block worst-case
+// costs. Both live in dense vectors indexed by block position (block
+// IDs equal RPO positions), so downstream pricing — the IPET objective
+// in particular — indexes slices instead of hashing block IDs.
 type CostResult struct {
-	In   map[cfg.BlockID]Context
-	Cost map[cfg.BlockID]int
+	cost []int
+	in   []Context
+	seen []bool
 }
+
+// Costs returns the per-block worst-case cost vector indexed by block
+// ID (exit blocks cost 0). Callers must treat it as read-only.
+func (r *CostResult) Costs() []int { return r.cost }
+
+// Cost returns the worst-case cost of one block.
+func (r *CostResult) Cost(id cfg.BlockID) int { return r.cost[id] }
+
+// In returns the in-context the fixpoint reached for a block; ok is
+// false when the block was never reached (the context is then the zero
+// entry context, matching how it is priced).
+func (r *CostResult) In(id cfg.BlockID) (Context, bool) { return r.in[id], r.seen[id] }
 
 // maxFixIter guards the context fixpoint (finite lattice; generous).
 const maxFixIter = 10_000
@@ -268,45 +219,12 @@ const maxFixIter = 10_000
 // PERSISTENT references whose misses are charged separately by IPET
 // miss-count variables. Passing the same function for both yields the
 // plain (non-PS-aware) model.
+//
+// AnalyzeCosts compiles the graph on the fly; callers re-pricing one
+// graph under many latency assignments (scenario sweeps) should Compile
+// once and call Compiled.AnalyzeCosts to skip recompilation.
 func AnalyzeCosts(g *cfg.Graph, pc Config, worst, base TimingFn) (*CostResult, error) {
-	in := map[cfg.BlockID]Context{}
-	in[g.Entry.ID] = EntryContext()
-	seen := map[cfg.BlockID]bool{g.Entry.ID: true}
-	for iter := 0; ; iter++ {
-		if iter > maxFixIter {
-			return nil, fmt.Errorf("pipeline: context fixpoint did not converge")
-		}
-		changed := false
-		for _, b := range g.RPO() {
-			if !seen[b.ID] {
-				continue
-			}
-			bt := ExecBlock(pc, b, worst, in[b.ID])
-			for _, e := range b.Succs {
-				ec := EdgeContext(pc, bt, e)
-				cur, ok := in[e.To.ID]
-				var next Context
-				if ok {
-					next = cur.Join(ec)
-				} else {
-					next = ec
-				}
-				if !ok || next != cur {
-					in[e.To.ID] = next
-					seen[e.To.ID] = true
-					changed = true
-				}
-			}
-		}
-		if !changed {
-			break
-		}
-	}
-	res := &CostResult{In: in, Cost: map[cfg.BlockID]int{}}
-	for _, b := range g.Blocks {
-		res.Cost[b.ID] = ExecBlock(pc, b, base, in[b.ID]).Dur
-	}
-	return res, nil
+	return Compile(g).AnalyzeCosts(pc, worst, base)
 }
 
 // SrcRegs returns the registers an instruction reads.
@@ -344,6 +262,7 @@ func DstReg(in isa.Inst) (isa.Reg, bool) {
 	}
 }
 
-// ExLatOf exposes the per-instruction EX latency for the simulator, which
-// must price EX identically to the static model.
+// ExLatOf exposes the per-instruction EX latency (the value a LatTable
+// holds for the instruction's class); the simulator and the static
+// model both read their latencies through Config.Latencies.
 func ExLatOf(c Config, in isa.Inst) int { return c.exLat(in) }

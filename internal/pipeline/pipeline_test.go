@@ -173,13 +173,13 @@ loop:   addi r1, r1, -1
 	}
 	for _, b := range g.Blocks {
 		if b.IsExit() {
-			if res.Cost[b.ID] != 0 {
-				t.Errorf("exit cost = %d, want 0", res.Cost[b.ID])
+			if res.Cost(b.ID) != 0 {
+				t.Errorf("exit cost = %d, want 0", res.Cost(b.ID))
 			}
 			continue
 		}
-		if res.Cost[b.ID] < b.Len() {
-			t.Errorf("block %v cost %d below instruction count", b, res.Cost[b.ID])
+		if res.Cost(b.ID) < b.Len() {
+			t.Errorf("block %v cost %d below instruction count", b, res.Cost(b.ID))
 		}
 	}
 	// The loop block's in-context must reflect the taken-branch redirect:
@@ -193,8 +193,12 @@ loop:   addi r1, r1, -1
 	if loopBlk == nil {
 		t.Fatal("no loop block")
 	}
-	if res.In[loopBlk.ID].Avail[IF] <= ctxClamp {
-		t.Errorf("loop in-context unexpectedly bottom: %+v", res.In[loopBlk.ID])
+	loopIn, reached := res.In(loopBlk.ID)
+	if !reached {
+		t.Fatal("loop block unreached by the context fixpoint")
+	}
+	if loopIn.Avail[IF] <= ctxClamp {
+		t.Errorf("loop in-context unexpectedly bottom: %+v", loopIn)
 	}
 }
 
@@ -216,7 +220,7 @@ loop:   addi r1, r1, -1
 		t.Fatal(err)
 	}
 	for _, b := range g.Blocks {
-		if resB.Cost[b.ID] > resW.Cost[b.ID] {
+		if resB.Cost(b.ID) > resW.Cost(b.ID) {
 			t.Errorf("base-priced cost exceeds worst-priced for %v", b)
 		}
 	}

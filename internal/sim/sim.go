@@ -55,7 +55,8 @@ type System struct {
 // task under the same single-core configuration. It is the one place
 // the analysis-side core.SystemConfig is wired into simulation cores;
 // the facade, the experiments, and the scenario runner all build their
-// systems through it.
+// systems through it. Partitioning experiments that give cores distinct
+// private L2 views use FromConfigPerCoreL2 instead.
 func FromConfig(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, sharedL2 bool, tasks ...core.Task) System {
 	s := System{L2: sys.Mem.L2, SharedL2: sharedL2, Bus: bus, Mem: mem}
 	for _, t := range tasks {
@@ -63,6 +64,21 @@ func FromConfig(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, 
 			Name: t.Name, Prog: t.Prog, Pipe: sys.Pipeline,
 			L1I: sys.Mem.L1I, L1D: sys.Mem.L1D,
 		})
+	}
+	return s
+}
+
+// FromConfigPerCoreL2 assembles a multicore simulation like FromConfig,
+// but gives core i the private L2 geometry l2s[i] (nil falls back to the
+// system L2): the simulation side of cache partitioning, where each
+// core sees only its partition of the shared second level. The L2 is
+// never shared, so partitioned cores cannot interfere.
+func FromConfigPerCoreL2(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, tasks []core.Task, l2s []*cache.Config) System {
+	s := FromConfig(sys, mem, bus, false, tasks...)
+	for i := range s.Cores {
+		if i < len(l2s) {
+			s.Cores[i].L2 = l2s[i]
+		}
 	}
 	return s
 }
@@ -124,6 +140,18 @@ type coreRunner struct {
 	l1d  *cache.LRU
 	l2   *cache.LRU // shared or private; nil without L2
 
+	// Compiled pipeline model: the program's instructions lowered to the
+	// same ops the static analysis executes, plus the config's EX-latency
+	// table, so static and simulated pricing provably read identical
+	// latencies.
+	ops []pipeline.InstOp
+	lt  pipeline.LatTable
+
+	// maxCycles bounds simulated time; exceeding it while retiring aborts
+	// the run (the guard that catches non-halting programs whose accesses
+	// all hit in the L1s and thus never reach the bus-side check).
+	maxCycles int64
+
 	// Absolute pipeline recurrence state.
 	prevIDs, prevEXs, prevMEMs, prevWBs, prevWBd int64
 	ready                                        [isa.NumRegs]int64
@@ -132,6 +160,7 @@ type coreRunner struct {
 
 	// In-flight instruction context.
 	inst     isa.Inst
+	op       pipeline.InstOp
 	ifs, ifd int64
 	mems     int64
 	memLat   int64
@@ -145,7 +174,8 @@ type coreRunner struct {
 // Runner execution: run() advances until a bus transaction is needed or
 // the program halts; resume(doneAt) completes the pending access.
 //
-// The per-instruction recurrence mirrors pipeline.ExecBlock exactly:
+// The per-instruction recurrence evaluates the same compiled ops as
+// pipeline.ExecBlock:
 //
 //	IFs = max(prevIDs, redirect); IFd = IFs + fetchLat
 //	IDs = max(IFd, prevEXs); EXs = max(IDs+1, prevMEMs, ready[srcs])
@@ -161,6 +191,7 @@ func (c *coreRunner) run(sys *System) (*busNeed, error) {
 				return nil, fmt.Errorf("core %d: PC 0x%x outside text", c.id, c.arch.PC)
 			}
 			c.inst = c.arch.Prog.Insts[idx]
+			c.op = c.ops[idx]
 			c.ifs = max(c.prevIDs, c.redirect)
 			if c.l1i.Access(c.arch.PC) {
 				c.stats.L1IHits++
@@ -180,6 +211,13 @@ func (c *coreRunner) run(sys *System) (*busNeed, error) {
 		if need != nil {
 			return need, nil
 		}
+		// Every pass through here retired one instruction, advancing
+		// simulated time by at least one cycle, so a non-halting program
+		// trips the budget even when it never leaves the L1s. A program
+		// that just halted is complete and keeps its result.
+		if !c.arch.Halted && c.stats.Cycles > c.maxCycles {
+			return nil, fmt.Errorf("sim: core %d exceeded %d cycles", c.id, c.maxCycles)
+		}
 	}
 	c.done = true
 	return nil, nil
@@ -192,21 +230,21 @@ func (c *coreRunner) inFlight() bool { return c.ifd != 0 }
 // finish completes the current instruction after its fetch resolved,
 // possibly pausing at the data access.
 func (c *coreRunner) finish(sys *System) (*busNeed, error) {
-	in := c.inst
+	in, op := c.inst, c.op
 	if c.memLat == 0 { // data access not resolved yet
 		ids := max(c.ifd, c.prevEXs)
 		exs := max(ids+1, c.prevMEMs)
-		for _, r := range pipeline.SrcRegs(in) {
-			if c.ready[r] > exs {
-				exs = c.ready[r]
+		for k := uint8(0); k < op.NSrc; k++ {
+			if r := c.ready[op.Src[k]]; r > exs {
+				exs = r
 			}
 		}
-		ex := int64(pipeline.ExLatOf(c.cfg.Pipe, in))
+		ex := int64(c.lt[op.Class])
 		c.mems = max(exs+ex, c.prevWBs)
 		// Stash EX completion for redirect computation in retire().
 		c.exd = exs + ex
 		c.exsAbs = exs
-		if in.IsMem() {
+		if op.Mem {
 			addr := uint32(c.arch.Reg[in.Rs1] + in.Imm)
 			if c.l1d.Access(addr) {
 				c.stats.L1DHits++
@@ -222,11 +260,11 @@ func (c *coreRunner) finish(sys *System) (*busNeed, error) {
 	// Retire.
 	wbs := max(c.mems+c.memLat, c.prevWBd)
 	wbd := wbs + 1
-	if rd, ok := pipeline.DstReg(in); ok {
-		if in.Op == isa.LD {
-			c.ready[rd] = c.mems + c.memLat
+	if op.HasDst {
+		if op.Load {
+			c.ready[op.Dst] = c.mems + c.memLat
 		} else {
-			c.ready[rd] = c.exd
+			c.ready[op.Dst] = c.exd
 		}
 	}
 	c.prevIDs = max(c.ifd, c.prevEXs) // instruction left IF when entering ID
@@ -280,7 +318,9 @@ func Run(sys System, maxCycles int64) (*Result, error) {
 	runners := make([]*coreRunner, len(sys.Cores))
 	pending := make([]*busNeed, len(sys.Cores))
 	for i, cc := range sys.Cores {
-		r := &coreRunner{id: i, cfg: cc, arch: isa.NewState(cc.Prog)}
+		r := &coreRunner{id: i, cfg: cc, arch: isa.NewState(cc.Prog), maxCycles: maxCycles}
+		r.ops = pipeline.CompileOps(cc.Prog.Insts)
+		r.lt = cc.Pipe.Latencies()
 		r.l1i = cache.NewLRU(cc.L1I)
 		r.l1d = cache.NewLRU(cc.L1D)
 		switch {

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 	"testing"
 
 	"paratime/internal/arbiter"
@@ -336,6 +337,98 @@ func TestMaxCyclesGuard(t *testing.T) {
 	p := prog(t, "nested")
 	if _, err := Run(System{Cores: []CoreConfig{simCore("x", p)}, Mem: testMemCfg()}, 10); err == nil {
 		t.Skip("program finished within tiny budget; guard untestable here")
+	}
+}
+
+// TestMaxCyclesGuardAllHitLoop is the regression test for the simulator
+// hang: a non-halting program whose accesses all hit in the L1s after
+// warm-up never produces a bus transaction, so the old guard (applied
+// only at bus-transaction selection) never fired and sim.Run looped
+// forever. The budget must now abort the run from the retire path.
+func TestMaxCyclesGuardAllHitLoop(t *testing.T) {
+	spin := isa.MustAssemble("spin", `
+loop:   addi r1, r1, 1
+        add  r2, r2, r1
+        j    loop`)
+	_, err := Run(System{Cores: []CoreConfig{simCore("spin", spin)}, Mem: testMemCfg()}, 50_000)
+	if err == nil {
+		t.Fatal("non-halting all-hit program must exceed the cycle budget")
+	}
+	want := "exceeded 50000 cycles"
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not mention %q", err, want)
+	}
+	// The same guard must also fire with a data working set that fits the
+	// L1D (hits only after the first pass).
+	spinMem := isa.MustAssemble("spinmem", `
+        li   r7, 0x8000
+loop:   ld   r3, 0(r7)
+        addi r3, r3, 1
+        st   r3, 0(r7)
+        j    loop`)
+	_, err = Run(System{Cores: []CoreConfig{simCore("spinmem", spinMem)}, Mem: testMemCfg()}, 50_000)
+	if err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("all-hit load/store loop: got %v, want %q", err, want)
+	}
+}
+
+// TestMaxCyclesKeepsCompletedRuns pins the guard's precision: a program
+// that halts within the budget is unaffected, and its cycle count is
+// identical to an unbounded run.
+func TestMaxCyclesKeepsCompletedRuns(t *testing.T) {
+	p := prog(t, "countdown")
+	free, err := Run(System{Cores: []CoreConfig{simCore("c", p)}, Mem: testMemCfg()}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := Run(System{Cores: []CoreConfig{simCore("c", p)}, Mem: testMemCfg()}, free.Cycles(0))
+	if err != nil {
+		t.Fatalf("run within exact budget must succeed: %v", err)
+	}
+	if tight.Cycles(0) != free.Cycles(0) {
+		t.Fatalf("budget changed the result: %d vs %d", tight.Cycles(0), free.Cycles(0))
+	}
+}
+
+// TestPerCoreL2Override covers the private-L2 override path: a core
+// with a tiny private L2 view must observe more L2 misses than a core
+// running the same program under the full geometry, and
+// FromConfigPerCoreL2 must wire the views through.
+func TestPerCoreL2Override(t *testing.T) {
+	p := prog(t, "memwalk")
+	small := cache.Config{Name: "L2p", Sets: 2, Ways: 1, LineBytes: 32, HitLatency: 4}
+	sys := System{
+		Cores: []CoreConfig{simCore("full", p), simCore("small", p)},
+		L2:    ptr(l2()),
+		Mem:   testMemCfg(),
+	}
+	sys.Cores[1].L2 = &small
+	res, err := Run(sys, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats[1].L2Misses <= res.Stats[0].L2Misses {
+		t.Errorf("tiny private L2 view saw %d misses, full view %d — override not effective",
+			res.Stats[1].L2Misses, res.Stats[0].L2Misses)
+	}
+
+	// The constructor plumbs per-core views; nil keeps the system L2.
+	ssys := staticSys(0, true)
+	tasks := []core.Task{{Name: "a", Prog: p}, {Name: "b", Prog: p}}
+	built := FromConfigPerCoreL2(ssys, testMemCfg(), nil, tasks, []*cache.Config{nil, &small})
+	if built.SharedL2 {
+		t.Error("partitioned simulation must not share the L2")
+	}
+	if built.Cores[0].L2 != nil || built.Cores[1].L2 != &small {
+		t.Errorf("per-core views not wired: %+v", built.Cores)
+	}
+	res2, err := Run(built, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Stats[1].L2Misses <= res2.Stats[0].L2Misses {
+		t.Errorf("FromConfigPerCoreL2 override not effective: %d vs %d misses",
+			res2.Stats[1].L2Misses, res2.Stats[0].L2Misses)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 
 	"paratime/internal/arbiter"
+	"paratime/internal/cache"
 	"paratime/internal/core"
 	"paratime/internal/engine"
 	"paratime/internal/interfere"
@@ -156,7 +157,7 @@ func Run(ctx context.Context, s *Scenario, eng *engine.Engine) (*Report, error) 
 	case KindJoint:
 		err = runJoint(ctx, s, eng, tasks, sys, mem, rep)
 	case KindPartition:
-		err = runPartition(ctx, s, eng, tasks, sys, rep)
+		err = runPartition(ctx, s, eng, tasks, sys, mem, rep)
 	case KindLock:
 		err = runLock(ctx, s, tasks, sys, rep)
 	case KindBus:
@@ -286,7 +287,7 @@ func runJoint(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core
 	return nil
 }
 
-func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, rep *Report) error {
+func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
 	p := s.Mode.Partition
 	var view = *sys.Mem.L2
 	var err error
@@ -312,6 +313,23 @@ func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []
 	for i, a := range as {
 		rep.Tasks = append(rep.Tasks, TaskReport{Name: tasks[i].Name, WCET: a.WCET, Classes: a.ClassSummary()})
 	}
+	if s.Sim == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	// Co-run every task with its core confined to a private view of its
+	// partition — the isolation the partitioned analysis assumes.
+	views := make([]*cache.Config, len(tasks))
+	for i := range views {
+		views[i] = &view
+	}
+	res, err := sim.Run(sim.FromConfigPerCoreL2(sys, mem, nil, tasks, views), simLimit(s, defaultSimCycles))
+	if err != nil {
+		return err
+	}
+	fillSim(rep, tasks, res.Cycles, nil)
 	return nil
 }
 

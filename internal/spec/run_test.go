@@ -187,3 +187,40 @@ func TestReportEncode(t *testing.T) {
 		t.Errorf("report did not round-trip: %+v", back)
 	}
 }
+
+// TestRunPartitionSim: partition mode now honors the sim block, co-running
+// the tasks with each core confined to a private view of its L2 partition;
+// the partitioned bounds must stay sound against that simulation and the
+// analysis results must be identical to a run without simulation.
+func TestRunPartitionSim(t *testing.T) {
+	tasks := workload.Suite()[:2]
+	mode := ModeSpec{Kind: KindPartition, Partition: &PartitionSpec{Scheme: PartTask}}
+	plain, err := Run(context.Background(), mustScenario(t, "partition", tasks, mode, nil), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Sim) != 0 {
+		t.Fatalf("unexpected sim entries without a sim block: %+v", plain.Sim)
+	}
+	simmed, err := Run(context.Background(), mustScenario(t, "partition", tasks, mode,
+		&SimSpec{MaxCycles: 50_000_000}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(simmed.Sim) != len(tasks) {
+		t.Fatalf("%d sim entries for %d tasks", len(simmed.Sim), len(tasks))
+	}
+	for i := range tasks {
+		if simmed.Tasks[i].WCET != plain.Tasks[i].WCET {
+			t.Errorf("task %d: simulation changed the bound: %d vs %d",
+				i, simmed.Tasks[i].WCET, plain.Tasks[i].WCET)
+		}
+		if !simmed.Sim[i].Sound {
+			t.Errorf("task %s: UNSOUND partition WCET %d < simulated %d",
+				simmed.Tasks[i].Name, simmed.Tasks[i].WCET, simmed.Sim[i].Cycles)
+		}
+		if simmed.Sim[i].Cycles <= 0 {
+			t.Errorf("task %d: empty simulation result", i)
+		}
+	}
+}

@@ -250,9 +250,12 @@ type PretSpec struct {
 // solo simulates each task alone; bus co-runs all tasks on the shared
 // bus with private L2s; joint co-runs them on a shared L2 over private,
 // uncontended memory paths (a fixed system BusDelay is a bound in the
-// analysis, not a simulated device); smt and pret drive their dedicated
+// analysis, not a simulated device); partition co-runs the tasks with
+// each core restricted to a private view of its L2 partition (the
+// isolation the analysis assumes); smt and pret drive their dedicated
 // core models. MaxCycles bounds each simulation (0 selects a default);
-// for smt and pret it bounds instruction steps instead.
+// for smt and pret it bounds instruction steps instead. Lock mode does
+// not simulate (the simulator has no lockable cache).
 type SimSpec struct {
 	MaxCycles int64 `json:"maxCycles,omitempty"`
 }
@@ -651,7 +654,7 @@ func (s *Scenario) validateSim() error {
 		return fmt.Errorf("spec: negative sim maxCycles")
 	}
 	switch s.Mode.Kind {
-	case KindSolo, KindJoint, KindBus, KindSMT, KindPRET:
+	case KindSolo, KindJoint, KindPartition, KindBus, KindSMT, KindPRET:
 		return nil
 	default:
 		return fmt.Errorf("spec: sim validation is not supported in mode %q; remove the sim block", s.Mode.Kind)

@@ -4,6 +4,8 @@ import (
 	"context"
 	"strings"
 	"testing"
+
+	"paratime/internal/workload"
 )
 
 func TestFacadeQuickstart(t *testing.T) {
@@ -108,5 +110,58 @@ func TestNewSystemOptions(t *testing.T) {
 	}
 	if got, want := NewSystem(WithMemController(DefaultMemConfig())).Mem.MemLatency, DefaultMemConfig().Bound(); got != want {
 		t.Errorf("WithMemController latency %d, want %d", got, want)
+	}
+}
+
+// TestCrossLayerSoundnessRandomPrograms is the toolkit-wide soundness
+// property over the full stack: random structured programs are analyzed
+// and co-run under every sharing regime the simulator can validate —
+// solo, joint shared-L2, partitioned L2 (each core confined to a
+// private partition view), and a shared round-robin bus — and in every
+// case the static WCET must bound the simulated cycle count.
+func TestCrossLayerSoundnessRandomPrograms(t *testing.T) {
+	for seed := int64(0); seed < 6; seed++ {
+		tasks := []Task{
+			workload.Random(1000+seed, workload.Slot(0)),
+			workload.Random(2000+seed, workload.Slot(1)),
+		}
+		specTasks := make([]ScenarioTask, len(tasks))
+		for i, task := range tasks {
+			st, err := ScenarioTaskOf(task)
+			if err != nil {
+				t.Fatal(err)
+			}
+			specTasks[i] = st
+		}
+		modes := []ScenarioMode{
+			{Kind: ModeSolo},
+			{Kind: ModeJoint, Model: "ageshift"},
+			{Kind: ModePartition, Partition: &ScenarioPartition{Scheme: "task"}},
+			{Kind: ModeBus, Bus: &ScenarioBus{Policy: "roundrobin"}},
+		}
+		for _, mode := range modes {
+			sc := &Scenario{
+				Spec:   SpecVersion,
+				Name:   mode.Kind,
+				Tasks:  specTasks,
+				System: DefaultScenarioSystem(),
+				Mode:   mode,
+				Sim:    &ScenarioSim{MaxCycles: 50_000_000},
+			}
+			rep, err := Run(context.Background(), sc)
+			if err != nil {
+				t.Fatalf("seed %d mode %s: %v", seed, mode.Kind, err)
+			}
+			if len(rep.Sim) != len(tasks) {
+				t.Fatalf("seed %d mode %s: %d sim entries for %d tasks",
+					seed, mode.Kind, len(rep.Sim), len(tasks))
+			}
+			for i, sr := range rep.Sim {
+				if !sr.Sound {
+					t.Errorf("seed %d mode %s task %s: UNSOUND WCET %d < simulated %d",
+						seed, mode.Kind, rep.Tasks[i].Name, rep.Tasks[i].WCET, sr.Cycles)
+				}
+			}
+		}
 	}
 }
