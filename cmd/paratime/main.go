@@ -12,6 +12,8 @@
 //	paratime run  [-json] <file...|->  run scenario file(s) (see export)
 //	paratime export <exp-id>|all    dump experiment(s) as scenario JSON
 //	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
+//	paratime tightness [-update] [file]  check (or rewrite) the precision
+//	                                baseline, default TIGHTNESS.json
 //	paratime list                   list experiments
 //
 // Scenario files carry schema version 1 ("spec": 1); `paratime export
@@ -151,6 +153,8 @@ func run(ctx context.Context, args []string) error {
 		return err
 	case "exp":
 		return runExperiments(ctx, args[1:])
+	case "tightness":
+		return runTightness(args[1:])
 	case "list":
 		for _, id := range experiments.IDs {
 			fmt.Println(id)
@@ -274,6 +278,57 @@ func runExperiments(ctx context.Context, args []string) error {
 	return nil
 }
 
+// runTightness recomputes the exploration precision baseline and either
+// gates against the committed TIGHTNESS.json (CI mode) or rewrites it
+// (-update). The gate fails on loosened bounds, exact-worst drift, or a
+// soundness break (exact > bound).
+func runTightness(args []string) error {
+	update := false
+	if len(args) > 0 && args[0] == "-update" {
+		update = true
+		args = args[1:]
+	}
+	path := "TIGHTNESS.json"
+	if len(args) > 0 {
+		path = args[0]
+	}
+	current, err := experiments.TightnessAll()
+	if err != nil {
+		return err
+	}
+	if update {
+		out, err := experiments.EncodeTightness(current)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(path, out, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("tightness: wrote %d entr%s to %s\n", len(current), plural(len(current), "y", "ies"), path)
+		return nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("%w (record a baseline with `paratime tightness -update`)", err)
+	}
+	baseline, err := experiments.DecodeTightness(data)
+	if err != nil {
+		return err
+	}
+	if err := experiments.CheckTightness(current, baseline); err != nil {
+		return err
+	}
+	fmt.Printf("tightness: OK, %d entr%s match %s\n", len(current), plural(len(current), "y", "ies"), path)
+	return nil
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
+}
+
 func withProg(args []string, f func(*paratime.Program) error) error {
 	if len(args) < 2 {
 		return fmt.Errorf("%s wants an assembly file", args[0])
@@ -290,5 +345,5 @@ func withProg(args []string, f func(*paratime.Program) error) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | list")
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | list")
 }

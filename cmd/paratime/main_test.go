@@ -75,6 +75,24 @@ func TestRunGoldenJSON(t *testing.T) {
 	checkGolden(t, "quickstart.json.golden", out)
 }
 
+// TestExploreGolden pins the text report of `paratime run` on a
+// scenario with an explore block: exact worst, tightness and the
+// replayable witness line are byte-for-byte part of the contract.
+func TestExploreGolden(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", filepath.Join("testdata", "explore.json")})
+	})
+	checkGolden(t, "explore.golden", out)
+}
+
+// TestExploreGoldenJSON pins the -json form with explore enabled.
+func TestExploreGoldenJSON(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"run", "-json", filepath.Join("testdata", "explore.json")})
+	})
+	checkGolden(t, "explore.json.golden", out)
+}
+
 // TestExportRunPipeline: every exported scenario decodes and runs — the
 // in-process version of the CI `export all | run -` smoke job (on a
 // fast subset; CI runs the full set).

@@ -62,6 +62,10 @@ func simFor(sys core.SystemConfig, mem memctrl.Config, bus arbiter.Arbiter, shar
 // tight on every benchmark: WCET >= simulated cycles, modest ratio.
 // Rebased onto the Scenario API: one declarative solo request with
 // simulation validation (analysis and sims fan out through the engine).
+// The exhaustive-exploration oracle enumerates initial cache states per
+// task, so the table also reports exact_worst and the tightness factor
+// exact_worst/WCET — the measured gap between the bound and the true
+// worst case over the explored state space.
 func Exp01SoloWCET() (*Result, error) {
 	sc, err := scenarioE01()
 	if err != nil {
@@ -72,20 +76,44 @@ func Exp01SoloWCET() (*Result, error) {
 		return nil, err
 	}
 	t := report.New("E1: solo static WCET vs simulation (private caches)",
-		"task", "WCET", "sim cycles", "ratio", "classes")
-	worst := 0.0
+		"task", "WCET", "sim cycles", "ratio", "exact worst", "tightness", "classes")
+	worst, worstTight := 0.0, 0.0
 	for i, tr := range rep.Tasks {
 		sr := rep.Sim[i]
 		if !sr.Sound {
 			return nil, fmt.Errorf("e1: UNSOUND %s: %d < %d", tr.Name, tr.WCET, sr.Cycles)
 		}
+		if err := checkExplored(tr, sr.Cycles); err != nil {
+			return nil, fmt.Errorf("e1: %w", err)
+		}
 		r := float64(tr.WCET) / float64(sr.Cycles)
 		if r > worst {
 			worst = r
 		}
-		t.Add(tr.Name, tr.WCET, sr.Cycles, r, tr.Classes)
+		if tr.Tightness > worstTight {
+			worstTight = tr.Tightness
+		}
+		t.Add(tr.Name, tr.WCET, sr.Cycles, r, tr.ExactWorst, fmt.Sprintf("%.4f", tr.Tightness), tr.Classes)
 	}
-	return &Result{Table: t, Metrics: map[string]float64{"worst_ratio": worst}}, nil
+	return &Result{Table: t, Metrics: map[string]float64{
+		"worst_ratio":     worst,
+		"worst_tightness": worstTight,
+	}}, nil
+}
+
+// checkExplored enforces the oracle's sandwich on one explored task
+// report: sim <= exact_worst <= WCET, with a replayable witness.
+func checkExplored(tr spec.TaskReport, simCycles int64) error {
+	if tr.ExactWorst <= 0 || tr.Witness == nil {
+		return fmt.Errorf("%s: exploration produced no exact worst case", tr.Name)
+	}
+	if tr.ExactWorst > tr.WCET {
+		return fmt.Errorf("%s: UNSOUND exact worst %d exceeds WCET %d", tr.Name, tr.ExactWorst, tr.WCET)
+	}
+	if tr.ExactWorst < simCycles {
+		return fmt.Errorf("%s: exact worst %d below single-trace sim %d", tr.Name, tr.ExactWorst, simCycles)
+	}
+	return nil
 }
 
 // Exp02UnsafeSolo (§2.2): the solo bound, computed as if the shared L2
@@ -460,7 +488,7 @@ func Exp10YieldCFG() (*Result, error) {
 // out through the engine; the per-n scenarios run concurrently too).
 func Exp12RoundRobin() (*Result, error) {
 	t := report.New("E12: round-robin isolation bound D = N·L−1",
-		"cores", "bound", "sim max wait", "victim WCET", "victim sim")
+		"cores", "bound", "sim max wait", "victim WCET", "victim sim", "victim exact", "tightness")
 	ns := []int{1, 2, 4, 8}
 	reps := make([]*spec.Report, len(ns))
 	err := engine.ForEach(context.Background(), 0, len(ns), func(i int) error {
@@ -490,7 +518,11 @@ func Exp12RoundRobin() (*Result, error) {
 		if !rep.Sim[0].Sound {
 			return nil, fmt.Errorf("e12: UNSOUND %d < %d at n=%d", victim.WCET, rep.Sim[0].Cycles, n)
 		}
-		t.Add(n, victim.BusBound, maxWait, victim.WCET, rep.Sim[0].Cycles)
+		if err := checkExplored(victim, rep.Sim[0].Cycles); err != nil {
+			return nil, fmt.Errorf("e12 n=%d: %w", n, err)
+		}
+		t.Add(n, victim.BusBound, maxWait, victim.WCET, rep.Sim[0].Cycles,
+			victim.ExactWorst, fmt.Sprintf("%.4f", victim.Tightness))
 		lastWCET = float64(victim.WCET)
 	}
 	return &Result{Table: t, Metrics: map[string]float64{"wcet_at_8": lastWCET}}, nil

@@ -111,12 +111,30 @@ func one(sc *spec.Scenario, err error) ([]*spec.Scenario, error) {
 	return []*spec.Scenario{sc}, nil
 }
 
+// withExplore attaches an exhaustive-exploration request to a built
+// scenario and re-validates. The explorable experiments use it to pair
+// every static bound with an exact worst case over enumerated initial
+// cache states (and declared input values, when the tasks have any).
+func withExplore(sc *spec.Scenario, err error, e *spec.ExploreSpec) (*spec.Scenario, error) {
+	if err != nil {
+		return nil, err
+	}
+	sc.Explore = e
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
 // --- per-experiment constructors --------------------------------------------
 
-// scenarioE01 is E1's request: the full suite, solo, simulation-checked.
+// scenarioE01 is E1's request: the full suite, solo, simulation-checked,
+// with the exhaustive-exploration oracle enumerating initial cache
+// states (the suite programs are closed, so the input space is empty).
 func scenarioE01() (*spec.Scenario, error) {
-	return scenario("e1-solo-suite", workload.Suite(), defaultSys(),
+	sc, err := scenario("e1-solo-suite", workload.Suite(), defaultSys(),
 		spec.ModeSpec{Kind: spec.KindSolo}, &spec.SimSpec{MaxCycles: 200_000_000})
+	return withExplore(sc, err, &spec.ExploreSpec{InitStates: 4})
 }
 
 func exportE01() ([]*spec.Scenario, error) { return one(scenarioE01()) }
@@ -317,11 +335,13 @@ func e12Tasks() []core.Task {
 	}
 }
 
-// scenarioE12 is E12's request at one core count.
+// scenarioE12 is E12's request at one core count, with the exploration
+// oracle co-running all n cores from each enumerated initial state.
 func scenarioE12(n int) (*spec.Scenario, error) {
-	return scenario(fmt.Sprintf("e12-bus-roundrobin-%dcores", n), e12Tasks()[:n], defaultSys(),
+	sc, err := scenario(fmt.Sprintf("e12-bus-roundrobin-%dcores", n), e12Tasks()[:n], defaultSys(),
 		spec.ModeSpec{Kind: spec.KindBus, Bus: &spec.BusSpec{Policy: spec.BusRoundRobin, Cores: n}},
 		&spec.SimSpec{MaxCycles: 500_000_000})
+	return withExplore(sc, err, &spec.ExploreSpec{InitStates: 2})
 }
 
 func exportE12() ([]*spec.Scenario, error) {

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+
+	"paratime/internal/spec"
+)
+
+// TightnessEntry is one (scenario, task) row of the precision baseline:
+// the static bound, the exact worst case found by bounded exhaustive
+// exploration, and their ratio. TIGHTNESS.json at the repo root holds
+// the committed baseline; the CI gate recomputes the entries and fails
+// when a bound loosens (precision regression), when the exact worst
+// drifts (the oracle or the simulated machine changed), or when
+// exact > bound (soundness break).
+type TightnessEntry struct {
+	Scenario  string  `json:"scenario"`
+	Task      string  `json:"task"`
+	Exact     int64   `json:"exact"`
+	Bound     int64   `json:"bound"`
+	Tightness float64 `json:"tightness"`
+}
+
+// tightnessScenarios builds every explorable experiment scenario the
+// baseline tracks: E1's solo suite and E12's round-robin ladder.
+func tightnessScenarios() ([]*spec.Scenario, error) {
+	var out []*spec.Scenario
+	sc, err := scenarioE01()
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, sc)
+	for _, n := range []int{1, 2, 4, 8} {
+		sc, err := scenarioE12(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+// TightnessAll runs every tracked scenario and collects one entry per
+// explored task, in deterministic (scenario, task) order.
+func TightnessAll() ([]TightnessEntry, error) {
+	scs, err := tightnessScenarios()
+	if err != nil {
+		return nil, err
+	}
+	var out []TightnessEntry
+	for _, sc := range scs {
+		rep, err := runScenario(sc)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+		for _, tr := range rep.Tasks {
+			if tr.ExactWorst == 0 {
+				continue
+			}
+			out = append(out, TightnessEntry{
+				Scenario:  sc.Name,
+				Task:      tr.Name,
+				Exact:     tr.ExactWorst,
+				Bound:     tr.WCET,
+				Tightness: tr.Tightness,
+			})
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("tightness: no explored tasks in any tracked scenario")
+	}
+	return out, nil
+}
+
+// EncodeTightness renders entries as the committed TIGHTNESS.json form.
+func EncodeTightness(entries []TightnessEntry) ([]byte, error) {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// DecodeTightness parses a committed baseline.
+func DecodeTightness(data []byte) ([]TightnessEntry, error) {
+	var entries []TightnessEntry
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("tightness baseline: %w", err)
+	}
+	return entries, nil
+}
+
+// CheckTightness is the precision regression gate: compare freshly
+// computed entries against the committed baseline. It fails on
+//
+//   - soundness breaks: exact > bound in the current entries,
+//   - precision regressions: a current bound above the baseline bound,
+//   - oracle drift: a current exact worst differing from the baseline
+//     (exploration is deterministic, so any drift means the simulated
+//     machine or the oracle changed and the baseline must be re-recorded),
+//   - coverage drift: entries appearing or disappearing.
+//
+// A bound below the baseline (the analysis got tighter) passes; rerun
+// with -update to record the improvement. All violations are reported,
+// not just the first.
+func CheckTightness(current, baseline []TightnessEntry) error {
+	key := func(e TightnessEntry) string { return e.Scenario + "/" + e.Task }
+	base := make(map[string]TightnessEntry, len(baseline))
+	for _, e := range baseline {
+		base[key(e)] = e
+	}
+	var problems []string
+	seen := make(map[string]bool, len(current))
+	for _, e := range current {
+		k := key(e)
+		seen[k] = true
+		if e.Exact > e.Bound {
+			problems = append(problems, fmt.Sprintf(
+				"%s: UNSOUND: exact worst %d exceeds static bound %d", k, e.Exact, e.Bound))
+			continue
+		}
+		b, ok := base[k]
+		if !ok {
+			problems = append(problems, fmt.Sprintf(
+				"%s: not in baseline (new entry; rerun with -update)", k))
+			continue
+		}
+		if e.Bound > b.Bound {
+			problems = append(problems, fmt.Sprintf(
+				"%s: precision regression: bound loosened %d -> %d (exact worst %d)",
+				k, b.Bound, e.Bound, e.Exact))
+		}
+		if e.Exact != b.Exact {
+			problems = append(problems, fmt.Sprintf(
+				"%s: exact worst drifted %d -> %d (machine or oracle changed; rerun with -update)",
+				k, b.Exact, e.Exact))
+		}
+	}
+	for _, e := range baseline {
+		if !seen[key(e)] {
+			problems = append(problems, fmt.Sprintf(
+				"%s: in baseline but no longer produced (rerun with -update)", key(e)))
+		}
+	}
+	if len(problems) > 0 {
+		return fmt.Errorf("tightness gate failed:\n  %s", strings.Join(problems, "\n  "))
+	}
+	return nil
+}

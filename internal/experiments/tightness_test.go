@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestTightnessBaselineMatches is the in-process form of the CI gate:
+// the committed TIGHTNESS.json must match a fresh run exactly — no
+// loosened bounds, no exact-worst drift, no soundness breaks.
+func TestTightnessBaselineMatches(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "TIGHTNESS.json"))
+	if err != nil {
+		t.Fatalf("%v (regenerate with `paratime tightness -update`)", err)
+	}
+	baseline, err := DecodeTightness(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	current, err := TightnessAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTightness(current, baseline); err != nil {
+		t.Errorf("%v\n(if the change is intentional, rerun `paratime tightness -update`)", err)
+	}
+}
+
+// TestTightnessEntriesSandwiched: every fresh entry satisfies
+// 0 < exact <= bound and carries the matching ratio.
+func TestTightnessEntriesSandwiched(t *testing.T) {
+	entries, err := TightnessAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Exact <= 0 {
+			t.Errorf("%s/%s: non-positive exact worst %d", e.Scenario, e.Task, e.Exact)
+		}
+		if e.Exact > e.Bound {
+			t.Errorf("%s/%s: UNSOUND exact %d > bound %d", e.Scenario, e.Task, e.Exact, e.Bound)
+		}
+		if want := float64(e.Exact) / float64(e.Bound); e.Tightness != want {
+			t.Errorf("%s/%s: tightness %v, want %v", e.Scenario, e.Task, e.Tightness, want)
+		}
+		if e.Tightness > 1 {
+			t.Errorf("%s/%s: tightness %v > 1", e.Scenario, e.Task, e.Tightness)
+		}
+	}
+}
+
+// TestTightnessGateDetectsLoosening seeds a deliberate precision
+// regression — the loosened-bound demonstration the gate exists for —
+// plus the other failure classes, against the real current entries.
+func TestTightnessGateDetectsLoosening(t *testing.T) {
+	current, err := TightnessAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline := append([]TightnessEntry(nil), current...)
+	if err := CheckTightness(current, baseline); err != nil {
+		t.Fatalf("identical entries must pass the gate: %v", err)
+	}
+
+	// Deliberate loosening: the first bound grows by one cycle.
+	loosened := append([]TightnessEntry(nil), current...)
+	loosened[0].Bound++
+	err = CheckTightness(loosened, baseline)
+	if err == nil || !strings.Contains(err.Error(), "precision regression") {
+		t.Errorf("loosened bound not caught: %v", err)
+	}
+
+	// Soundness break: exact climbs past the bound.
+	unsound := append([]TightnessEntry(nil), current...)
+	unsound[0].Exact = unsound[0].Bound + 1
+	err = CheckTightness(unsound, baseline)
+	if err == nil || !strings.Contains(err.Error(), "UNSOUND") {
+		t.Errorf("soundness break not caught: %v", err)
+	}
+
+	// Oracle drift: the exact worst moved without the bound moving.
+	drifted := append([]TightnessEntry(nil), current...)
+	drifted[0].Exact--
+	err = CheckTightness(drifted, baseline)
+	if err == nil || !strings.Contains(err.Error(), "drifted") {
+		t.Errorf("exact-worst drift not caught: %v", err)
+	}
+
+	// Coverage drift in both directions.
+	err = CheckTightness(current[1:], baseline)
+	if err == nil || !strings.Contains(err.Error(), "no longer produced") {
+		t.Errorf("dropped entry not caught: %v", err)
+	}
+	extra := append(append([]TightnessEntry(nil), current...),
+		TightnessEntry{Scenario: "new-scenario", Task: "t", Exact: 1, Bound: 2, Tightness: 0.5})
+	err = CheckTightness(extra, baseline)
+	if err == nil || !strings.Contains(err.Error(), "not in baseline") {
+		t.Errorf("new entry not caught: %v", err)
+	}
+
+	// A tightened bound is an improvement, not a regression.
+	tightened := append([]TightnessEntry(nil), current...)
+	if tightened[0].Bound > tightened[0].Exact {
+		tightened[0].Bound--
+		if err := CheckTightness(tightened, baseline); err != nil {
+			t.Errorf("tightened bound must pass the gate: %v", err)
+		}
+	}
+
+	// Round-trip through the committed encoding preserves the gate.
+	data, err := EncodeTightness(current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeTightness(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CheckTightness(back, baseline); err != nil {
+		t.Errorf("encode/decode round trip fails the gate: %v", err)
+	}
+}

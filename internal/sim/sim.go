@@ -34,6 +34,19 @@ type CoreConfig struct {
 	// L2 overrides the system L2 geometry for this core's private view
 	// (cache partitioning experiments); nil uses the system L2 as-is.
 	L2 *cache.Config
+
+	// InitRegs overrides initial architectural register values: entry i
+	// seeds register i (entries beyond the register file and the
+	// hardwired r0 are ignored). The exhaustive explorer enumerates
+	// input assignments through this field, and a witness replays by
+	// carrying the exact assignment here.
+	InitRegs []int32
+	// WarmI and WarmD pre-touch addresses through the core's L1I
+	// respectively L1D (and its L2 view) before cycle 0, establishing an
+	// enumerated initial cache state. Warming is purely an initial-state
+	// choice: it consumes no simulated time and no bus transactions.
+	WarmI []uint32
+	WarmD []uint32
 }
 
 // System is a complete multicore configuration.
@@ -331,6 +344,24 @@ func Run(sys System, maxCycles int64) (*Result, error) {
 			r.l2 = cache.NewLRU(*cc.L2)
 		default:
 			r.l2 = cache.NewLRU(*sys.L2)
+		}
+		for reg, v := range cc.InitRegs {
+			if reg > 0 && reg < isa.NumRegs {
+				r.arch.Reg[reg] = v
+			}
+		}
+		// Warm in core order (deterministic, including a shared L2).
+		for _, a := range cc.WarmI {
+			r.l1i.Access(a)
+			if r.l2 != nil {
+				r.l2.Access(a)
+			}
+		}
+		for _, a := range cc.WarmD {
+			r.l1d.Access(a)
+			if r.l2 != nil {
+				r.l2.Access(a)
+			}
 		}
 		runners[i] = r
 		need, err := r.run(&sys)

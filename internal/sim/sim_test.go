@@ -432,6 +432,77 @@ func TestPerCoreL2Override(t *testing.T) {
 	}
 }
 
+// TestInitRegsSeedState: InitRegs must change architectural behavior
+// exactly like pre-seeded registers in the reference executor, ignore
+// the hardwired r0, and leave the zero-value config untouched.
+func TestInitRegsSeedState(t *testing.T) {
+	// Retired count is 2 + 3*r1: the loop body runs r1 times.
+	p := isa.MustAssemble("inputloop", `
+loop:   beq  r1, r0, done
+        addi r1, r1, -1
+        j    loop
+done:   halt`)
+	for _, r1 := range []int32{0, 7} {
+		cc := simCore("c", p)
+		// Entry 0 targets the hardwired zero register and must be ignored.
+		cc.InitRegs = []int32{99, r1}
+		res, err := Run(System{Cores: []CoreConfig{cc}, Mem: testMemCfg()}, 1_000_000)
+		if err != nil {
+			t.Fatalf("r1=%d: %v", r1, err)
+		}
+		want := uint64(2 + 3*r1)
+		if res.Stats[0].Retired != want {
+			t.Errorf("r1=%d: retired %d, want %d", r1, res.Stats[0].Retired, want)
+		}
+	}
+	// Absent InitRegs is the all-zero seed.
+	base, err := Run(System{Cores: []CoreConfig{simCore("c", p)}, Mem: testMemCfg()}, 1_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Stats[0].Retired != 2 {
+		t.Errorf("zero-value config: retired %d, want 2", base.Stats[0].Retired)
+	}
+}
+
+// TestWarmEstablishesInitialCacheState: pre-warmed lines must hit where
+// a cold run misses, runs stay deterministic, and a warmed run of an
+// in-order core never takes longer than the cold run.
+func TestWarmEstablishesInitialCacheState(t *testing.T) {
+	p := prog(t, "memwalk")
+	cold, err := Run(System{Cores: []CoreConfig{simCore("m", p)}, Mem: testMemCfg()}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cc := simCore("m", p)
+	for a := uint32(0x8000); a < 0x8100; a += uint32(cc.L1D.LineBytes) {
+		cc.WarmD = append(cc.WarmD, a)
+	}
+	for a := p.Base; a < p.End(); a += uint32(cc.L1I.LineBytes) {
+		cc.WarmI = append(cc.WarmI, a)
+	}
+	warm, err := Run(System{Cores: []CoreConfig{cc}, Mem: testMemCfg()}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Stats[0].L1DMisses >= cold.Stats[0].L1DMisses {
+		t.Errorf("warmed L1D misses %d not below cold %d", warm.Stats[0].L1DMisses, cold.Stats[0].L1DMisses)
+	}
+	if warm.Stats[0].L1IMisses >= cold.Stats[0].L1IMisses {
+		t.Errorf("warmed L1I misses %d not below cold %d", warm.Stats[0].L1IMisses, cold.Stats[0].L1IMisses)
+	}
+	if warm.Cycles(0) > cold.Cycles(0) {
+		t.Errorf("warming slowed the run: warm %d > cold %d", warm.Cycles(0), cold.Cycles(0))
+	}
+	again, err := Run(System{Cores: []CoreConfig{cc}, Mem: testMemCfg()}, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Stats[0] != warm.Stats[0] {
+		t.Errorf("warmed run not deterministic:\n%+v\n%+v", warm.Stats[0], again.Stats[0])
+	}
+}
+
 func TestStatspopulated(t *testing.T) {
 	p := prog(t, "memwalk")
 	sys := System{Cores: []CoreConfig{simCore("m", p)}, L2: ptr(l2()), Mem: testMemCfg()}

@@ -5,11 +5,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 
 	"paratime/internal/arbiter"
 	"paratime/internal/cache"
 	"paratime/internal/core"
 	"paratime/internal/engine"
+	"paratime/internal/explore"
 	"paratime/internal/interfere"
 	"paratime/internal/isa"
 	"paratime/internal/memctrl"
@@ -37,6 +39,10 @@ type Report struct {
 	// Sim holds per-core validation results when the scenario requested
 	// simulation; entry order matches Tasks.
 	Sim []SimReport `json:"sim,omitempty"`
+	// Explore summarizes the exhaustive exploration when the scenario
+	// requested one; the per-task exact worst and tightness live on the
+	// TaskReport entries.
+	Explore *ExploreReport `json:"explore,omitempty"`
 }
 
 // TaskReport is one task's analysis outcome.
@@ -61,6 +67,42 @@ type TaskReport struct {
 	LockedLines int `json:"lockedLines,omitempty"`
 	// Classes summarizes cache classification counts per level.
 	Classes string `json:"classes,omitempty"`
+	// ExactWorst is the exact worst-case cycle count over every explored
+	// state (explore block only). If the exploration was truncated it is
+	// only a lower bound on the true exact worst.
+	ExactWorst int64 `json:"exactWorst,omitempty"`
+	// Tightness = ExactWorst / WCET; 1.0 means the static bound is
+	// exact, above 1.0 means the bound is unsound.
+	Tightness float64 `json:"tightness,omitempty"`
+	// Witness is the explored start state realizing ExactWorst.
+	Witness *WitnessReport `json:"witness,omitempty"`
+}
+
+// WitnessReport is a replayable exact-worst witness: seeding the listed
+// inputs and initial cache pattern reproduces ExactWorst exactly.
+type WitnessReport struct {
+	// Inputs lists the full input assignment as "task.reg=value"
+	// (all tasks of the co-run, not just the witnessed one).
+	Inputs []string `json:"inputs,omitempty"`
+	// Pattern is the initial cache state index (0 = cold).
+	Pattern int `json:"pattern"`
+	// Path is the witnessed task's input-dependent branch decision
+	// string ('T' taken, 'N' not taken).
+	Path string `json:"path,omitempty"`
+}
+
+// ExploreReport summarizes one exhaustive exploration.
+type ExploreReport struct {
+	// States is the number of priced (assignment, pattern) states.
+	States int `json:"states"`
+	// Paths is the number of distinct input-dependent paths observed.
+	Paths int `json:"paths"`
+	// MaxDecisions is the largest per-trace input-dependent branch
+	// decision count.
+	MaxDecisions int `json:"maxDecisions"`
+	// Truncated reports a non-exhaustive enumeration (budget hit);
+	// exact_worst values are then only lower bounds.
+	Truncated bool `json:"truncated,omitempty"`
 }
 
 // SimReport is one core's validation outcome.
@@ -107,8 +149,25 @@ func (r *Report) Fprint(w io.Writer) {
 			}
 			fmt.Fprintf(w, "  sim %10d  %s", s.Cycles, verdict)
 		}
+		if t.ExactWorst != 0 {
+			fmt.Fprintf(w, "  exact %10d  tight %.4f", t.ExactWorst, t.Tightness)
+		}
 		if t.Classes != "" {
 			fmt.Fprintf(w, "  %s", t.Classes)
+		}
+		fmt.Fprintln(w)
+		if t.Witness != nil {
+			fmt.Fprintf(w, "    witness pattern=%d path=%q", t.Witness.Pattern, t.Witness.Path)
+			if len(t.Witness.Inputs) > 0 {
+				fmt.Fprintf(w, " inputs=%s", strings.Join(t.Witness.Inputs, ","))
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if e := r.Explore; e != nil {
+		fmt.Fprintf(w, "  explore %d state(s)  %d path(s)  max decisions %d", e.States, e.Paths, e.MaxDecisions)
+		if e.Truncated {
+			fmt.Fprint(w, "  TRUNCATED")
 		}
 		fmt.Fprintln(w)
 	}
@@ -172,7 +231,140 @@ func Run(ctx context.Context, s *Scenario, eng *engine.Engine) (*Report, error) 
 	if err != nil {
 		return nil, err
 	}
+	if s.Explore != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if err := runExplore(s, tasks, sys, mem, rep); err != nil {
+			return nil, err
+		}
+	}
 	return rep, nil
+}
+
+// exploreSystem builds the co-run topology the explorer prices — the
+// same topology the sim block of the matching mode validates against.
+func exploreSystem(s *Scenario, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config) (sim.System, error) {
+	switch s.Mode.Kind {
+	case KindJoint:
+		return sim.FromConfig(sys, mem, nil, true, tasks...), nil
+	case KindPartition:
+		view, err := partitionView(s, sys, len(tasks))
+		if err != nil {
+			return sim.System{}, err
+		}
+		views := make([]*cache.Config, len(tasks))
+		for i := range views {
+			views[i] = &view
+		}
+		return sim.FromConfigPerCoreL2(sys, mem, nil, tasks, views), nil
+	case KindBus:
+		return sim.FromConfig(sys, mem, buildArbiter(s), false, tasks...), nil
+	default:
+		return sim.System{}, fmt.Errorf("spec: explore is not supported in mode %q", s.Mode.Kind)
+	}
+}
+
+// runExplore executes the scenario's explore block after the static
+// analysis filled rep.Tasks, attaching exact_worst, tightness and a
+// witness per task plus the exploration summary. Mode solo explores
+// each task alone; joint, partition and bus explore the full co-run.
+func runExplore(s *Scenario, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+	e := s.Explore
+	b := explore.Budget{
+		MaxBranchDecisions: e.MaxBranchDecisions,
+		InitStates:         e.InitStates,
+		MaxStates:          e.MaxStates,
+		MaxSteps:           e.MaxSteps,
+		MaxCycles:          simLimit(s, defaultSimCycles),
+	}
+	taskIdx := map[string]int{}
+	for i, t := range tasks {
+		taskIdx[t.Name] = i
+	}
+	// inputsFor maps the declared inputs onto sim cores: core i runs
+	// task remap[i] (identity for co-runs, a single task for solo).
+	inputsFor := func(remap []int) ([]explore.Input, error) {
+		var out []explore.Input
+		for _, in := range e.Inputs {
+			r, ok := RegByName(in.Reg)
+			if !ok {
+				return nil, fmt.Errorf("spec: explore input register %q", in.Reg)
+			}
+			for c, ti := range remap {
+				if taskIdx[in.Task] == ti {
+					out = append(out, explore.Input{Core: c, Reg: r, Values: in.Values})
+				}
+			}
+		}
+		return out, nil
+	}
+	// witnessReport renders a witness; core c of the explored system
+	// runs task remap[c].
+	witnessReport := func(w explore.Witness, remap []int) *WitnessReport {
+		wr := &WitnessReport{Pattern: w.Init.Pattern, Path: w.Path}
+		for c, assign := range w.Init.Regs {
+			for _, rv := range assign {
+				wr.Inputs = append(wr.Inputs,
+					fmt.Sprintf("%s.%s=%d", tasks[remap[c]].Name, rv.Reg, rv.Value))
+			}
+		}
+		return wr
+	}
+	record := func(i int, exact int64, w explore.Witness, remap []int) {
+		rep.Tasks[i].ExactWorst = exact
+		if rep.Tasks[i].WCET > 0 {
+			rep.Tasks[i].Tightness = float64(exact) / float64(rep.Tasks[i].WCET)
+		}
+		rep.Tasks[i].Witness = witnessReport(w, remap)
+	}
+
+	agg := &ExploreReport{}
+	if s.Mode.Kind == KindSolo {
+		for i := range tasks {
+			ins, err := inputsFor([]int{i})
+			if err != nil {
+				return err
+			}
+			res, err := explore.Explore(sim.FromConfig(sys, mem, nil, false, tasks[i]), ins, b)
+			if err != nil {
+				return fmt.Errorf("spec: explore task %q: %w", tasks[i].Name, err)
+			}
+			record(i, res.ExactWorst[0], res.Witness[0], []int{i})
+			agg.States += res.States
+			agg.Paths += res.Paths
+			if res.MaxDecisions > agg.MaxDecisions {
+				agg.MaxDecisions = res.MaxDecisions
+			}
+			agg.Truncated = agg.Truncated || res.Truncated
+		}
+	} else {
+		simSys, err := exploreSystem(s, tasks, sys, mem)
+		if err != nil {
+			return err
+		}
+		remap := make([]int, len(tasks))
+		for i := range remap {
+			remap[i] = i
+		}
+		ins, err := inputsFor(remap)
+		if err != nil {
+			return err
+		}
+		res, err := explore.Explore(simSys, ins, b)
+		if err != nil {
+			return fmt.Errorf("spec: explore: %w", err)
+		}
+		for i := range tasks {
+			record(i, res.ExactWorst[i], res.Witness[i], remap)
+		}
+		agg.States = res.States
+		agg.Paths = res.Paths
+		agg.MaxDecisions = res.MaxDecisions
+		agg.Truncated = res.Truncated
+	}
+	rep.Explore = agg
+	return nil
 }
 
 func simLimit(s *Scenario, fallback int64) int64 {
@@ -287,13 +479,15 @@ func runJoint(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core
 	return nil
 }
 
-func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+// partitionView computes the private L2 view of a validated
+// partition-mode scenario.
+func partitionView(s *Scenario, sys core.SystemConfig, nTasks int) (cache.Config, error) {
 	p := s.Mode.Partition
-	var view = *sys.Mem.L2
+	var view cache.Config
 	var err error
 	switch p.Scheme {
 	case PartTask:
-		view, err = partition.SetPartition(*sys.Mem.L2, len(tasks))
+		view, err = partition.SetPartition(*sys.Mem.L2, nTasks)
 	case PartCore:
 		view, err = partition.SetPartition(*sys.Mem.L2, p.Cores)
 	case PartWays:
@@ -302,7 +496,15 @@ func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []
 		view, err = partition.Bankize(*sys.Mem.L2, p.Banks, p.TotalBanks)
 	}
 	if err != nil {
-		return fmt.Errorf("spec: %w", err)
+		return view, fmt.Errorf("spec: %w", err)
+	}
+	return view, nil
+}
+
+func runPartition(ctx context.Context, s *Scenario, eng *engine.Engine, tasks []core.Task, sys core.SystemConfig, mem memctrl.Config, rep *Report) error {
+	view, err := partitionView(s, sys, len(tasks))
+	if err != nil {
+		return err
 	}
 	sysP := sys
 	sysP.Mem.L2 = &view

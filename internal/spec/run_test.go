@@ -4,12 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
+	"strings"
 	"testing"
 	"time"
 
 	"paratime/internal/core"
 	"paratime/internal/engine"
+	"paratime/internal/explore"
 	"paratime/internal/interfere"
+	"paratime/internal/isa"
 	"paratime/internal/partition"
 	"paratime/internal/workload"
 )
@@ -221,6 +225,155 @@ func TestRunPartitionSim(t *testing.T) {
 		}
 		if simmed.Sim[i].Cycles <= 0 {
 			t.Errorf("task %d: empty simulation result", i)
+		}
+	}
+}
+
+// exploreSource is an input-dependent diamond: r1 selects between a
+// multiply-heavy and a cheap loop body, so the exact worst case over
+// r1 in {0,1} exceeds the default-input trace. The data base address
+// is parameterized so co-run tasks stay address-disjoint (the joint
+// analysis requires it).
+const exploreSource = `
+        li   r2, 6
+        li   r6, %#x
+loop:   beq  r1, r0, even
+        mul  r4, r2, r2
+        mul  r4, r4, r2
+        j    join
+even:   add  r4, r4, r2
+join:   ld   r5, 0(r6)
+        add  r4, r4, r5
+        st   r4, 0(r6)
+        addi r6, r6, 16
+        addi r2, r2, -1
+        bne  r2, r0, loop
+        halt`
+
+func exploreScenario(t *testing.T, name, kind string, tasks int) *Scenario {
+	t.Helper()
+	sc := &Scenario{Spec: Version, Name: name, System: DefaultSystemSpec(), Mode: ModeSpec{Kind: kind}}
+	for i := 0; i < tasks; i++ {
+		p := isa.MustAssemble(fmt.Sprintf("t%d", i), fmt.Sprintf(exploreSource, 0x8000+0x1000*i))
+		p.Rebase(uint32(0x1000 * (i + 1)))
+		ts, err := TaskToSpec(core.Task{Name: fmt.Sprintf("t%d", i), Prog: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.Tasks = append(sc.Tasks, ts)
+	}
+	switch kind {
+	case KindPartition:
+		sc.Mode.Partition = &PartitionSpec{Scheme: PartTask}
+	case KindBus:
+		sc.Mode.Bus = &BusSpec{Policy: BusRoundRobin}
+	}
+	sc.Explore = &ExploreSpec{InitStates: 2}
+	for i := 0; i < tasks; i++ {
+		sc.Explore.Inputs = append(sc.Explore.Inputs,
+			InputSpec{Task: fmt.Sprintf("t%d", i), Reg: "r1", Values: []int32{0, 1}})
+	}
+	sc.Sim = &SimSpec{MaxCycles: 10_000_000}
+	if err := sc.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return sc
+}
+
+// TestRunExplore drives the explore block end to end under every
+// supported mode: exact worst above the single trace, tightness in
+// (0,1], a witness on every task, and a populated summary.
+func TestRunExplore(t *testing.T) {
+	for _, tc := range []struct {
+		kind  string
+		tasks int
+	}{
+		{KindSolo, 2}, {KindJoint, 2}, {KindPartition, 2}, {KindBus, 2},
+	} {
+		rep, err := Run(context.Background(), exploreScenario(t, "exp-"+tc.kind, tc.kind, tc.tasks), nil)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.kind, err)
+		}
+		if rep.Explore == nil {
+			t.Fatalf("%s: no explore summary", tc.kind)
+		}
+		if rep.Explore.Truncated {
+			t.Errorf("%s: unexpected truncation", tc.kind)
+		}
+		if rep.Explore.States == 0 || rep.Explore.Paths == 0 || rep.Explore.MaxDecisions == 0 {
+			t.Errorf("%s: empty summary %+v", tc.kind, rep.Explore)
+		}
+		for i, tr := range rep.Tasks {
+			if tr.ExactWorst <= 0 {
+				t.Errorf("%s task %d: exact worst %d", tc.kind, i, tr.ExactWorst)
+			}
+			if tr.Tightness <= 0 || tr.Tightness > 1 {
+				t.Errorf("%s task %d: tightness %v outside (0,1] — bound unsound or exploration broken",
+					tc.kind, i, tr.Tightness)
+			}
+			if want := float64(tr.ExactWorst) / float64(tr.WCET); tr.Tightness != want {
+				t.Errorf("%s task %d: tightness %v != exact/bound %v", tc.kind, i, tr.Tightness, want)
+			}
+			if tr.Witness == nil || len(tr.Witness.Inputs) == 0 {
+				t.Errorf("%s task %d: missing witness", tc.kind, i)
+			}
+			// The exact worst dominates the single validated trace.
+			if i < len(rep.Sim) && tr.ExactWorst < rep.Sim[i].Cycles {
+				t.Errorf("%s task %d: exact worst %d below single trace %d",
+					tc.kind, i, tr.ExactWorst, rep.Sim[i].Cycles)
+			}
+		}
+	}
+}
+
+// TestRunExploreWitnessRoundTrip: the witness printed in the report is
+// replayable — rebuilding the exploration start state from the report
+// reproduces ExactWorst exactly.
+func TestRunExploreWitnessRoundTrip(t *testing.T) {
+	sc := exploreScenario(t, "exp-replay", KindBus, 2)
+	rep, err := Run(context.Background(), sc, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tasks := make([]core.Task, len(sc.Tasks))
+	for i := range sc.Tasks {
+		if tasks[i], err = sc.Tasks[i].BuildTask(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sys, err := sc.System.BuildSystem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	simSys, err := exploreSystem(sc, tasks, sys, sc.System.MemConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti, tr := range rep.Tasks {
+		init := explore.InitState{Pattern: tr.Witness.Pattern, Regs: make([][]explore.RegValue, len(tasks))}
+		for _, in := range tr.Witness.Inputs {
+			var task, reg string
+			var val int32
+			dot := strings.IndexByte(in, '.')
+			eq := strings.IndexByte(in, '=')
+			task, reg = in[:dot], in[dot+1:eq]
+			fmt.Sscanf(in[eq+1:], "%d", &val)
+			r, ok := RegByName(reg)
+			if !ok {
+				t.Fatalf("witness register %q", reg)
+			}
+			for c := range tasks {
+				if tasks[c].Name == task {
+					init.Regs[c] = append(init.Regs[c], explore.RegValue{Reg: r, Value: val})
+				}
+			}
+		}
+		res, err := explore.Replay(simSys, init, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Cycles(ti) != tr.ExactWorst {
+			t.Errorf("task %d: witness replays to %d, want exactly %d", ti, res.Cycles(ti), tr.ExactWorst)
 		}
 	}
 }

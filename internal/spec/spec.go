@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"sort"
+
+	"paratime/internal/isa"
 )
 
 // Version is the schema version this package encodes and decodes.
@@ -42,6 +44,12 @@ type Scenario struct {
 	// Sim, when present, requests a cycle-accurate validation run
 	// alongside the static analysis.
 	Sim *SimSpec `json:"sim,omitempty"`
+	// Explore, when present, requests bounded exhaustive exploration:
+	// every declared input assignment and initial cache state is priced
+	// in simulation, and the report gains exact_worst and tightness
+	// (= exact_worst / static bound) per task, with a replayable
+	// witness. Modes solo, joint, partition and bus only.
+	Explore *ExploreSpec `json:"explore,omitempty"`
 }
 
 // TaskSpec describes one task: exactly one of Source (assembly text,
@@ -246,6 +254,116 @@ type PretSpec struct {
 	MemLatency  int `json:"memLatency"`
 }
 
+// ExploreSpec requests bounded exhaustive exploration. The explored
+// state space is the cartesian product of all declared input-register
+// value sets times the initial cache states; every state runs through
+// the cycle-accurate simulator under the mode's co-run topology (the
+// same topology the sim block validates against). All budgets are
+// optional; zero selects the explorer's default.
+type ExploreSpec struct {
+	// MaxBranchDecisions caps input-dependent branch decisions per
+	// trace (default 16, max 30).
+	MaxBranchDecisions int `json:"maxBranchDecisions,omitempty"`
+	// InitStates enumerates this many initial cache states: state 0 is
+	// cold, states >= 1 deterministically pre-warm footprint lines
+	// (default 1, max 64).
+	InitStates int `json:"initStates,omitempty"`
+	// MaxStates is the hard cap on priced states; hitting it marks the
+	// exploration truncated (default 4096, max 1048576).
+	MaxStates int `json:"maxStates,omitempty"`
+	// MaxSteps caps architectural steps per trace (default 1000000).
+	MaxSteps int64 `json:"maxSteps,omitempty"`
+	// Inputs declare the enumerated input registers; empty explores
+	// initial cache states only.
+	Inputs []InputSpec `json:"inputs,omitempty"`
+}
+
+// InputSpec declares one input register of one task and its finite
+// value domain.
+type InputSpec struct {
+	// Task names the owning task (must match a tasks[] entry).
+	Task string `json:"task"`
+	// Reg is the register name ("r1".."r13", "sp", "ra"); r0 is
+	// hardwired and not assignable.
+	Reg string `json:"reg"`
+	// Values is the enumerated domain (1..16 values).
+	Values []int32 `json:"values"`
+}
+
+// Explore bounds enforced by Validate.
+const (
+	maxExploreBranchDecisions = 30
+	maxExploreInitStates      = 64
+	maxExploreStates          = 1 << 20
+	maxExploreSteps           = 100_000_000
+	maxExploreValues          = 16
+)
+
+// RegByName parses an architectural register name as InputSpec.Reg
+// uses it ("r0".."r13", "sp", "ra").
+func RegByName(name string) (isa.Reg, bool) {
+	for r := isa.Reg(0); r < isa.NumRegs; r++ {
+		if r.String() == name {
+			return r, true
+		}
+	}
+	return 0, false
+}
+
+// validateExplore checks the explore block: a mode the explorer can
+// drive, budgets within bounds, and inputs naming real tasks and
+// assignable registers.
+func (s *Scenario) validateExplore() error {
+	e := s.Explore
+	if e == nil {
+		return nil
+	}
+	switch s.Mode.Kind {
+	case KindSolo, KindJoint, KindPartition, KindBus:
+	default:
+		return fmt.Errorf("spec: explore is not supported in mode %q (supported: %q, %q, %q, %q)",
+			s.Mode.Kind, KindSolo, KindJoint, KindPartition, KindBus)
+	}
+	if e.MaxBranchDecisions < 0 || e.MaxBranchDecisions > maxExploreBranchDecisions {
+		return fmt.Errorf("spec: explore maxBranchDecisions %d outside [0,%d]", e.MaxBranchDecisions, maxExploreBranchDecisions)
+	}
+	if e.InitStates < 0 || e.InitStates > maxExploreInitStates {
+		return fmt.Errorf("spec: explore initStates %d outside [0,%d]", e.InitStates, maxExploreInitStates)
+	}
+	if e.MaxStates < 0 || e.MaxStates > maxExploreStates {
+		return fmt.Errorf("spec: explore maxStates %d outside [0,%d]", e.MaxStates, maxExploreStates)
+	}
+	if e.MaxSteps < 0 || e.MaxSteps > maxExploreSteps {
+		return fmt.Errorf("spec: explore maxSteps %d outside [0,%d]", e.MaxSteps, maxExploreSteps)
+	}
+	taskNames := map[string]bool{}
+	for _, t := range s.Tasks {
+		taskNames[t.Name] = true
+	}
+	seen := map[string]bool{}
+	for i, in := range e.Inputs {
+		if !taskNames[in.Task] {
+			return fmt.Errorf("spec: explore inputs[%d] names unknown task %q", i, in.Task)
+		}
+		r, ok := RegByName(in.Reg)
+		if !ok {
+			return fmt.Errorf("spec: explore inputs[%d] names unknown register %q (use \"r1\"..\"r13\", \"sp\" or \"ra\")", i, in.Reg)
+		}
+		if r == 0 {
+			return fmt.Errorf("spec: explore inputs[%d] targets r0, which is hardwired to zero", i)
+		}
+		if len(in.Values) == 0 || len(in.Values) > maxExploreValues {
+			return fmt.Errorf("spec: explore inputs[%d] needs 1..%d values, has %d", i, maxExploreValues, len(in.Values))
+		}
+		key := in.Task + "\x00" + in.Reg
+		if seen[key] {
+			return fmt.Errorf("spec: explore inputs[%d] duplicates %s.%s", i, in.Task, in.Reg)
+		}
+		seen[key] = true
+	}
+	return nil
+}
+
 // SimSpec requests cycle-accurate validation. Topology follows the mode:
 // solo simulates each task alone; bus co-runs all tasks on the shared
 // bus with private L2s; joint co-runs them on a shared L2 over private,
@@ -400,7 +518,10 @@ func (s *Scenario) Validate() error {
 	if err := s.validateMode(); err != nil {
 		return err
 	}
-	return s.validateSim()
+	if err := s.validateSim(); err != nil {
+		return err
+	}
+	return s.validateExplore()
 }
 
 func (c CacheSpec) validate(name string) error {
@@ -715,6 +836,9 @@ func (s *Scenario) String() string {
 	sim := ""
 	if s.Sim != nil {
 		sim = " +sim"
+	}
+	if s.Explore != nil {
+		sim += " +explore"
 	}
 	return fmt.Sprintf("scenario %q: %d task(s), mode %s%s", s.Name, len(s.Tasks), mode, sim)
 }

@@ -26,8 +26,17 @@ func sampleScenarios(t *testing.T) []*Scenario {
 	}
 	suite := workload.Suite()
 	pair := suite[:2]
+	soloExp := mk("solo-explore", suite[:1], ModeSpec{Kind: KindSolo}, &SimSpec{MaxCycles: 1_000_000})
+	soloExp.Explore = &ExploreSpec{
+		MaxBranchDecisions: 8, InitStates: 2, MaxStates: 64, MaxSteps: 100_000,
+		Inputs: []InputSpec{{Task: soloExp.Tasks[0].Name, Reg: "r1", Values: []int32{0, 1, 7}}},
+	}
+	busExp := mk("bus-explore", pair, ModeSpec{Kind: KindBus, Bus: &BusSpec{Policy: BusRoundRobin}}, nil)
+	busExp.Explore = &ExploreSpec{InitStates: 2}
 	return []*Scenario{
 		mk("solo", suite, ModeSpec{Kind: KindSolo}, &SimSpec{MaxCycles: 1_000_000}),
+		soloExp,
+		busExp,
 		mk("joint", pair, ModeSpec{Kind: KindJoint, Model: ModelDirectMapped}, nil),
 		mk("joint-lt", pair, ModeSpec{Kind: KindJoint, Model: ModelAgeShift,
 			Lifetimes: []LifetimeSpec{{Core: 0}, {Core: 1, Deps: []int{0}}}}, nil),
@@ -193,6 +202,44 @@ func TestValidationRejections(t *testing.T) {
 			s.Sim = &SimSpec{}
 		}, "sim validation"},
 		{"bad cache geometry", func(s *Scenario) { s.System.L1I.Sets = 3 }, "powers of two"},
+		{"explore in smt mode", func(s *Scenario) {
+			s.Mode.Kind = KindSMT
+			s.Mode.SMT = &SMTSpec{Threads: 4, FULatency: 2, MemLatency: 10}
+			s.Explore = &ExploreSpec{}
+		}, "explore is not supported"},
+		{"explore unknown task", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{{Task: "ghost", Reg: "r1", Values: []int32{0}}}}
+		}, "unknown task"},
+		{"explore unknown register", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{{Task: s.Tasks[0].Name, Reg: "r99", Values: []int32{0}}}}
+		}, "unknown register"},
+		{"explore r0 input", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{{Task: s.Tasks[0].Name, Reg: "r0", Values: []int32{0}}}}
+		}, "hardwired"},
+		{"explore no values", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{{Task: s.Tasks[0].Name, Reg: "r1"}}}
+		}, "values"},
+		{"explore too many values", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{{Task: s.Tasks[0].Name, Reg: "r1", Values: make([]int32, 17)}}}
+		}, "values"},
+		{"explore duplicate input", func(s *Scenario) {
+			s.Explore = &ExploreSpec{Inputs: []InputSpec{
+				{Task: s.Tasks[0].Name, Reg: "r1", Values: []int32{0}},
+				{Task: s.Tasks[0].Name, Reg: "r1", Values: []int32{1}},
+			}}
+		}, "duplicates"},
+		{"explore initStates bound", func(s *Scenario) {
+			s.Explore = &ExploreSpec{InitStates: 65}
+		}, "initStates"},
+		{"explore decision bound", func(s *Scenario) {
+			s.Explore = &ExploreSpec{MaxBranchDecisions: 31}
+		}, "maxBranchDecisions"},
+		{"explore maxStates bound", func(s *Scenario) {
+			s.Explore = &ExploreSpec{MaxStates: 1<<20 + 1}
+		}, "maxStates"},
+		{"explore negative steps", func(s *Scenario) {
+			s.Explore = &ExploreSpec{MaxSteps: -1}
+		}, "maxSteps"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -228,6 +275,16 @@ func TestDecodeRejectsUnknownFields(t *testing.T) {
 	}
 	if _, err := Decode(bad); err == nil {
 		t.Error("unknown field accepted")
+	}
+	// Unknown fields nested inside the explore block fail too.
+	delete(raw, "modee")
+	raw["explore"] = json.RawMessage(`{"maxStatez": 5}`)
+	bad, err = json.Marshal(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(bad); err == nil {
+		t.Error("unknown explore field accepted")
 	}
 }
 
@@ -312,6 +369,9 @@ func FuzzScenarioDecode(f *testing.F) {
 			Mode: ModeSpec{Kind: KindJoint, Model: ModelAgeShift}},
 		{Spec: Version, Name: "seed-bus", Tasks: tasks, System: DefaultSystemSpec(),
 			Mode: ModeSpec{Kind: KindBus, Bus: &BusSpec{Policy: BusRoundRobin}}, Sim: &SimSpec{MaxCycles: 1000}},
+		{Spec: Version, Name: "seed-explore", Tasks: tasks, System: DefaultSystemSpec(),
+			Mode:    ModeSpec{Kind: KindSolo},
+			Explore: &ExploreSpec{InitStates: 2, Inputs: []InputSpec{{Task: tasks[0].Name, Reg: "r1", Values: []int32{0, 1}}}}},
 	}
 	for _, sc := range seeds {
 		data, err := sc.Encode()

@@ -112,10 +112,19 @@ type (
 	ScenarioSMT = spec.SMTSpec
 	// ScenarioPRET parameterizes the PRET interleaved core (mode pret).
 	ScenarioPRET = spec.PretSpec
+	// ScenarioExplore requests bounded exhaustive exploration: exact
+	// worst case over all declared inputs and initial cache states.
+	ScenarioExplore = spec.ExploreSpec
+	// ScenarioInput declares one explored input register and its domain.
+	ScenarioInput = spec.InputSpec
 	// Report is the structured, JSON-encodable result of Run.
 	Report = spec.Report
 	// TaskReport is one task's outcome within a Report.
 	TaskReport = spec.TaskReport
+	// ExploreReport summarizes a Report's exhaustive exploration.
+	ExploreReport = spec.ExploreReport
+	// WitnessReport is a replayable exact-worst witness in a TaskReport.
+	WitnessReport = spec.WitnessReport
 )
 
 // SpecVersion is the Scenario schema version this build speaks.
