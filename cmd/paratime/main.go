@@ -14,6 +14,7 @@
 //	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
 //	paratime tightness [-update] [file]  check (or rewrite) the precision
 //	                                baseline, default TIGHTNESS.json
+//	paratime serve [flags]          HTTP analysis service (POST /v1/analyze)
 //	paratime list                   list experiments
 //
 // Scenario files carry schema version 1 ("spec": 1); `paratime export
@@ -155,6 +156,8 @@ func run(ctx context.Context, args []string) error {
 		return runExperiments(ctx, args[1:])
 	case "tightness":
 		return runTightness(args[1:])
+	case "serve":
+		return runServe(ctx, args[1:])
 	case "list":
 		for _, id := range experiments.IDs {
 			fmt.Println(id)
@@ -345,5 +348,5 @@ func withProg(args []string, f func(*paratime.Program) error) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | list")
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | serve [-addr a] [-cache-dir d] [-max-inflight n] [-queue n] [-timeout d] | list")
 }

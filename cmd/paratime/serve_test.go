@@ -1,0 +1,57 @@
+package main
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"paratime/internal/cachestore"
+)
+
+// TestBuildServeCache: without -cache-dir the result cache is a bounded
+// memory LRU; with it, a two-tier memory-over-disk cache rooted at the
+// directory (created on demand).
+func TestBuildServeCache(t *testing.T) {
+	c, err := buildServeCache("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem, ok := c.(*cachestore.Memory)
+	if !ok {
+		t.Fatalf("memory-only cache is %T", c)
+	}
+	if mem.Cap() != defaultResultCacheEntries {
+		t.Errorf("cap %d, want %d", mem.Cap(), defaultResultCacheEntries)
+	}
+
+	dir := filepath.Join(t.TempDir(), "cache", "nested")
+	c2, err := buildServeCache(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt, ok := c2.(*cachestore.TwoTier)
+	if !ok {
+		t.Fatalf("persistent cache is %T", c2)
+	}
+	disk, ok := tt.Back().(*cachestore.Disk)
+	if !ok {
+		t.Fatalf("back tier is %T", tt.Back())
+	}
+	if disk.Dir() != dir {
+		t.Errorf("disk dir %q, want %q", disk.Dir(), dir)
+	}
+	if err := c2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestServeBadFlags: unknown flags fail fast instead of starting a
+// listener.
+func TestServeBadFlags(t *testing.T) {
+	if err := runServe(context.Background(), []string{"-bogus"}); err == nil {
+		t.Fatal("bogus flag accepted")
+	}
+	if err := runServe(context.Background(), []string{"-addr", "not-an-address", "-queue", "1"}); err == nil {
+		t.Fatal("unusable listen address accepted")
+	}
+}

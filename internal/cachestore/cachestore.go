@@ -1,0 +1,68 @@
+// Package cachestore provides the pluggable result-cache backends behind
+// the analysis service and the batch engine's Prepare memo. WCET analysis
+// is deterministic — the same scenario or prepared-analysis key always
+// produces the same artefact — so identical requests are perfectly
+// cacheable, and the only interesting questions are where the cache lives
+// (process memory, disk, both) and how it is bounded.
+//
+// Three backends implement one CacheBackend interface:
+//
+//   - Memory: a size-bounded LRU over arbitrary in-process values
+//     (the engine stores live *core.Analysis memo entries in it).
+//   - Disk: a persistent content-addressed store for []byte payloads,
+//     with an integrity check on every read — corrupt, truncated or
+//     version-mismatched entries are misses, never errors — so a warm
+//     restart can trust whatever it finds in the cache directory.
+//   - TwoTier: a memory tier in front of a disk tier; disk hits are
+//     promoted into memory.
+//
+// Backends are safe for concurrent use and keep hit/miss/eviction
+// statistics for the service's /v1/stats endpoint.
+package cachestore
+
+// Stats reports one backend's counters. Counters are cumulative over the
+// backend's lifetime (Reset drops entries but keeps counters, so
+// hit-ratio accounting survives cache clears).
+type Stats struct {
+	// Hits and Misses count Get outcomes.
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Puts counts store attempts, including ones the backend declined
+	// (the disk backend persists only []byte payloads).
+	Puts uint64 `json:"puts"`
+	// Evictions counts entries dropped to honor a size bound.
+	Evictions uint64 `json:"evictions,omitempty"`
+	// Entries is the current entry count; Peak is its high-water mark.
+	Entries int `json:"entries"`
+	Peak    int `json:"peak,omitempty"`
+	// Bytes is the payload bytes currently held ([]byte values only;
+	// live-object values held by the memory backend are not sized).
+	Bytes int64 `json:"bytes,omitempty"`
+}
+
+// CacheBackend is a pluggable key-value result cache. Implementations
+// must be safe for concurrent use. Get/Put never fail: a backend that
+// cannot satisfy a lookup (missing, corrupt, wrong type for the medium)
+// reports a miss, and one that cannot hold a value declines it silently —
+// callers must always be prepared to recompute, which deterministic
+// analysis makes safe.
+type CacheBackend interface {
+	// Get returns the value cached under key.
+	Get(key string) (any, bool)
+	// Put stores val under key, replacing any previous value. Backends
+	// may decline values they cannot hold (the disk backend persists
+	// only []byte).
+	Put(key string, val any)
+	// Stats returns the backend's counters.
+	Stats() Stats
+	// Close releases the backend's resources; entries of persistent
+	// backends survive it.
+	Close() error
+}
+
+// Resetter is the optional interface for backends that can drop every
+// entry while keeping their statistics counters (the engine's Reset uses
+// it to bound memory between unrelated sweeps).
+type Resetter interface {
+	Reset()
+}

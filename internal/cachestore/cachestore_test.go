@@ -1,0 +1,345 @@
+package cachestore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(2)
+	m.Put("a", 1)
+	m.Put("b", 2)
+	if _, ok := m.Get("a"); !ok { // a is now most recently used
+		t.Fatal("a missing before capacity hit")
+	}
+	m.Put("c", 3) // evicts b, the least recently used
+	if _, ok := m.Get("b"); ok {
+		t.Error("b survived eviction; LRU order not honored")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := m.Get(k); !ok {
+			t.Errorf("%s missing after eviction of b", k)
+		}
+	}
+	st := m.Stats()
+	if st.Evictions != 1 || st.Entries != 2 || st.Peak != 2 {
+		t.Errorf("stats = %+v, want 1 eviction, 2 entries, peak 2", st)
+	}
+}
+
+func TestMemoryCapOneAndUnbounded(t *testing.T) {
+	one := NewMemory(1)
+	for i := 0; i < 10; i++ {
+		one.Put(fmt.Sprint(i), i)
+	}
+	if st := one.Stats(); st.Entries != 1 || st.Peak != 1 || st.Evictions != 9 {
+		t.Errorf("cap-1 stats = %+v", st)
+	}
+	unb := NewMemory(0)
+	for i := 0; i < 100; i++ {
+		unb.Put(fmt.Sprint(i), i)
+	}
+	if st := unb.Stats(); st.Entries != 100 || st.Evictions != 0 {
+		t.Errorf("unbounded stats = %+v", st)
+	}
+}
+
+func TestMemoryUpdateExisting(t *testing.T) {
+	m := NewMemory(2)
+	m.Put("k", []byte("12345"))
+	m.Put("k", []byte("123"))
+	st := m.Stats()
+	if st.Entries != 1 || st.Bytes != 3 {
+		t.Errorf("stats = %+v, want 1 entry of 3 bytes", st)
+	}
+	v, ok := m.Get("k")
+	if !ok || string(v.([]byte)) != "123" {
+		t.Errorf("Get after update = %v, %v", v, ok)
+	}
+}
+
+func TestMemoryResetKeepsCounters(t *testing.T) {
+	m := NewMemory(0)
+	m.Put("k", 1)
+	m.Get("k")
+	m.Get("absent")
+	m.Reset()
+	st := m.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("entries/bytes not dropped: %+v", st)
+	}
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 {
+		t.Errorf("counters not kept: %+v", st)
+	}
+	if _, ok := m.Get("k"); ok {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestDiskRoundTrip(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []byte("payload bytes\x00with binary\xff")
+	d.Put("some/key|with|structure", want)
+	v, ok := d.Get("some/key|with|structure")
+	if !ok {
+		t.Fatal("put entry missing")
+	}
+	if !bytes.Equal(v.([]byte), want) {
+		t.Errorf("payload = %q, want %q", v, want)
+	}
+	if _, ok := d.Get("other key"); ok {
+		t.Error("unrelated key hit")
+	}
+	st := d.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestDiskSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	d1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Put("k", []byte("persisted"))
+	if err := d1.Close(); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := d2.Stats(); st.Entries != 1 {
+		t.Errorf("reopened entries = %d, want 1", st.Entries)
+	}
+	v, ok := d2.Get("k")
+	if !ok || string(v.([]byte)) != "persisted" {
+		t.Fatalf("entry did not survive reopen: %v, %v", v, ok)
+	}
+}
+
+func TestDiskDeclinesNonBytes(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", struct{ X int }{1})
+	if _, ok := d.Get("k"); ok {
+		t.Error("non-[]byte value was persisted")
+	}
+	if st := d.Stats(); st.Puts != 1 || st.Entries != 0 {
+		t.Errorf("stats = %+v, want declined put", st)
+	}
+}
+
+// entryPath returns the single entry file of a one-entry disk cache.
+func entryPath(t *testing.T, d *Disk) string {
+	t.Helper()
+	glob, err := filepath.Glob(filepath.Join(d.Dir(), "*"+diskExt))
+	if err != nil || len(glob) != 1 {
+		t.Fatalf("glob = %v, %v; want one entry file", glob, err)
+	}
+	return glob[0]
+}
+
+func TestDiskCorruptPayloadIsMiss(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("payload"))
+	path := entryPath(t, d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff // flip a payload bit
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Fatal("corrupt entry served")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Error("corrupt entry file not removed")
+	}
+}
+
+func TestDiskTruncatedIsMiss(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("a longer payload to truncate"))
+	path := entryPath(t, d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Error("truncated entry served")
+	}
+}
+
+func TestDiskVersionMismatchIsMiss(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("k", []byte("payload"))
+	path := entryPath(t, d)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.LittleEndian.PutUint32(data[len(diskMagic):], diskVersion+1)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("k"); ok {
+		t.Error("version-mismatched entry served")
+	}
+}
+
+// TestDiskWrongKeyIsMiss simulates a filename collision / renamed file:
+// a record whose embedded key differs from the lookup key must miss even
+// though the file exists at the looked-up path.
+func TestDiskWrongKeyIsMiss(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("original", []byte("payload"))
+	src := entryPath(t, d)
+	if err := os.Rename(src, d.path("imposter")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.Get("imposter"); ok {
+		t.Error("record with foreign embedded key served")
+	}
+}
+
+func TestDiskReset(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put("a", []byte("1"))
+	d.Put("b", []byte("2"))
+	d.Reset()
+	if st := d.Stats(); st.Entries != 0 || st.Bytes != 0 {
+		t.Errorf("stats after Reset = %+v", st)
+	}
+	if _, ok := d.Get("a"); ok {
+		t.Error("entry survived Reset")
+	}
+}
+
+func TestTwoTierPromotion(t *testing.T) {
+	mem := NewMemory(4)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := NewTwoTier(mem, disk)
+	tt.Put("k", []byte("v"))
+	if st := mem.Stats(); st.Entries != 1 {
+		t.Error("write-through skipped the front tier")
+	}
+	if st := disk.Stats(); st.Entries != 1 {
+		t.Error("write-through skipped the back tier")
+	}
+	mem.Reset() // cold front tier, warm back tier (the warm-restart shape)
+	v, ok := tt.Get("k")
+	if !ok || string(v.([]byte)) != "v" {
+		t.Fatalf("back-tier Get = %v, %v", v, ok)
+	}
+	if st := mem.Stats(); st.Entries != 1 {
+		t.Error("back-tier hit not promoted into the front tier")
+	}
+	if v, ok := tt.Get("k"); !ok || string(v.([]byte)) != "v" {
+		t.Fatalf("promoted Get = %v, %v", v, ok)
+	}
+	if st := disk.Stats(); st.Hits != 1 {
+		t.Errorf("disk hits = %d, want 1 (second Get should stay in memory)", st.Hits)
+	}
+	st := tt.Stats()
+	if st.Hits != 2 || st.Misses != 0 || st.Puts != 1 {
+		t.Errorf("two-tier stats = %+v", st)
+	}
+	if _, ok := tt.Get("absent"); ok || tt.Stats().Misses != 1 {
+		t.Error("two-tier miss accounting")
+	}
+}
+
+// TestTwoTierHoldsLiveObjects: non-[]byte values live in the front tier
+// only (the engine memo shape); the back tier declines them.
+func TestTwoTierHoldsLiveObjects(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tt := NewTwoTier(mem, disk)
+	type live struct{ X int }
+	tt.Put("k", &live{X: 7})
+	v, ok := tt.Get("k")
+	if !ok || v.(*live).X != 7 {
+		t.Fatalf("live object Get = %v, %v", v, ok)
+	}
+	if st := disk.Stats(); st.Entries != 0 {
+		t.Error("back tier persisted a live object")
+	}
+}
+
+func TestConcurrentBackends(t *testing.T) {
+	backends := map[string]CacheBackend{
+		"memory": NewMemory(16),
+	}
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["disk"] = d
+	d2, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	backends["twotier"] = NewTwoTier(NewMemory(8), d2)
+	for name, b := range backends {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for g := 0; g < 8; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for i := 0; i < 50; i++ {
+						key := fmt.Sprint(i % 20)
+						b.Put(key, []byte(key))
+						if v, ok := b.Get(key); ok {
+							if string(v.([]byte)) != key {
+								t.Errorf("key %s returned %q", key, v)
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+			if err := b.Close(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

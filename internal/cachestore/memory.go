@@ -1,0 +1,116 @@
+package cachestore
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Memory is a size-bounded in-process LRU cache over arbitrary values.
+// It is the default engine memo store (where it holds live prepared
+// analyses) and the front tier of the service's result cache.
+type Memory struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	stats Stats
+}
+
+type memEntry struct {
+	key string
+	val any
+}
+
+// NewMemory returns a memory backend holding at most capacity entries;
+// capacity <= 0 is unbounded. When full, Put evicts the least recently
+// used entry.
+func NewMemory(capacity int) *Memory {
+	return &Memory{
+		cap:   capacity,
+		ll:    list.New(),
+		items: map[string]*list.Element{},
+	}
+}
+
+// Cap returns the entry bound (0 = unbounded).
+func (m *Memory) Cap() int {
+	if m.cap <= 0 {
+		return 0
+	}
+	return m.cap
+}
+
+// Get returns the value cached under key, marking it most recently used.
+func (m *Memory) Get(key string) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.items[key]
+	if !ok {
+		m.stats.Misses++
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	m.stats.Hits++
+	return el.Value.(*memEntry).val, true
+}
+
+// Put stores val under key, evicting the least recently used entries
+// beyond the capacity bound.
+func (m *Memory) Put(key string, val any) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Puts++
+	if el, ok := m.items[key]; ok {
+		ent := el.Value.(*memEntry)
+		m.stats.Bytes += sizeOf(val) - sizeOf(ent.val)
+		ent.val = val
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.items[key] = m.ll.PushFront(&memEntry{key: key, val: val})
+	m.stats.Bytes += sizeOf(val)
+	for m.cap > 0 && m.ll.Len() > m.cap {
+		oldest := m.ll.Back()
+		ent := oldest.Value.(*memEntry)
+		m.ll.Remove(oldest)
+		delete(m.items, ent.key)
+		m.stats.Bytes -= sizeOf(ent.val)
+		m.stats.Evictions++
+	}
+	m.stats.Entries = m.ll.Len()
+	if m.stats.Entries > m.stats.Peak {
+		m.stats.Peak = m.stats.Entries
+	}
+}
+
+// Stats returns the backend's counters.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.stats
+	st.Entries = m.ll.Len()
+	return st
+}
+
+// Reset drops every entry while keeping the statistics counters.
+func (m *Memory) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ll = list.New()
+	m.items = map[string]*list.Element{}
+	m.stats.Entries = 0
+	m.stats.Bytes = 0
+}
+
+// Close drops every entry.
+func (m *Memory) Close() error {
+	m.Reset()
+	return nil
+}
+
+func sizeOf(val any) int64 {
+	if b, ok := val.([]byte); ok {
+		return int64(len(b))
+	}
+	return 0
+}

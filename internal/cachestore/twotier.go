@@ -1,0 +1,83 @@
+package cachestore
+
+import (
+	"errors"
+	"sync/atomic"
+)
+
+// TwoTier composes a fast front tier (typically Memory) over a larger,
+// usually persistent back tier (typically Disk). Gets hit the front tier
+// first; back-tier hits are promoted into the front tier so repeated
+// lookups stay in memory. Puts write through to both tiers — the front
+// tier serves the hot set, the back tier survives restarts.
+type TwoTier struct {
+	front, back CacheBackend
+
+	hits, misses, puts atomic.Uint64
+}
+
+// NewTwoTier returns a two-tier composition of front over back.
+func NewTwoTier(front, back CacheBackend) *TwoTier {
+	return &TwoTier{front: front, back: back}
+}
+
+// Front returns the front (memory) tier.
+func (t *TwoTier) Front() CacheBackend { return t.front }
+
+// Back returns the back (persistent) tier.
+func (t *TwoTier) Back() CacheBackend { return t.back }
+
+// Get returns the value under key from the first tier that holds it,
+// promoting back-tier hits into the front tier.
+func (t *TwoTier) Get(key string) (any, bool) {
+	if v, ok := t.front.Get(key); ok {
+		t.hits.Add(1)
+		return v, true
+	}
+	if v, ok := t.back.Get(key); ok {
+		t.front.Put(key, v)
+		t.hits.Add(1)
+		return v, true
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// Put writes val through to both tiers.
+func (t *TwoTier) Put(key string, val any) {
+	t.puts.Add(1)
+	t.front.Put(key, val)
+	t.back.Put(key, val)
+}
+
+// Stats returns the composition's logical counters (a Get that hits
+// either tier is one hit) plus the summed entry/byte footprint of both
+// tiers; a written-through entry present in both tiers counts twice.
+// Per-tier detail is available via Front().Stats() and Back().Stats().
+func (t *TwoTier) Stats() Stats {
+	f, b := t.front.Stats(), t.back.Stats()
+	return Stats{
+		Hits:      t.hits.Load(),
+		Misses:    t.misses.Load(),
+		Puts:      t.puts.Load(),
+		Evictions: f.Evictions + b.Evictions,
+		Entries:   f.Entries + b.Entries,
+		Peak:      f.Peak + b.Peak,
+		Bytes:     f.Bytes + b.Bytes,
+	}
+}
+
+// Reset drops every entry in tiers that support it, keeping counters.
+func (t *TwoTier) Reset() {
+	if r, ok := t.front.(Resetter); ok {
+		r.Reset()
+	}
+	if r, ok := t.back.(Resetter); ok {
+		r.Reset()
+	}
+}
+
+// Close closes both tiers.
+func (t *TwoTier) Close() error {
+	return errors.Join(t.front.Close(), t.back.Close())
+}

@@ -15,6 +15,13 @@
 // clone of the (immutable-prefix-sharing) prepared artefacts, and
 // results are returned in request order. The engine therefore yields
 // bit-identical WCETs to looping core.Analyze, at any worker count.
+//
+// The memo lives behind a pluggable cachestore.CacheBackend rather than
+// a process-lifetime map: the default is an unbounded in-memory store,
+// a size-bounded LRU caps memory for long sweeps (NewWithCache), and
+// correctness never depends on the backend — a backend that declines or
+// evicts entries merely costs a recomputation, because Prepare is
+// deterministic and every consumer gets a private clone either way.
 package engine
 
 import (
@@ -24,6 +31,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"paratime/internal/cachestore"
 	"paratime/internal/core"
 	"paratime/internal/interfere"
 )
@@ -35,15 +43,16 @@ type Request struct {
 }
 
 // Engine is a concurrent batch analyzer with a memoized prepare cache.
-// The zero value is not ready; use New. An Engine is safe for concurrent
-// use, including nested calls from requests it is itself running.
+// The zero value is not ready; use New or NewWithCache. An Engine is
+// safe for concurrent use, including nested calls from requests it is
+// itself running.
 type Engine struct {
 	workers int
 
-	mu     sync.Mutex
-	memo   map[string]*memoEntry
-	hits   uint64
-	misses uint64
+	// mu serializes the get-or-create step on the memo backend so one
+	// Prepare is latched per key even under concurrent first requests.
+	mu   sync.Mutex
+	memo cachestore.CacheBackend
 }
 
 // memoEntry latches one Prepare computation; once guarantees the work
@@ -54,13 +63,28 @@ type memoEntry struct {
 	err  error
 }
 
-// New returns an engine running at most workers concurrent analyses;
-// workers <= 0 selects GOMAXPROCS.
+// New returns an engine running at most workers concurrent analyses
+// with an unbounded in-memory memo; workers <= 0 selects GOMAXPROCS.
 func New(workers int) *Engine {
+	return NewWithCache(workers, nil)
+}
+
+// NewWithCache returns an engine whose Prepare memo sits on the given
+// cache backend; nil selects an unbounded in-memory store. A
+// size-bounded cachestore.Memory caps the memo's footprint for long
+// sweeps (peak entries never exceed its capacity) at the cost of
+// re-preparing evicted keys; output is bit-identical under any backend,
+// including one that never retains anything — memo entries are live
+// objects, so byte-oriented backends (disk tiers) simply decline them
+// and every request re-prepares.
+func NewWithCache(workers int, memo cachestore.CacheBackend) *Engine {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Engine{workers: workers, memo: map[string]*memoEntry{}}
+	if memo == nil {
+		memo = cachestore.NewMemory(0)
+	}
+	return &Engine{workers: workers, memo: memo}
 }
 
 // Workers returns the pool bound.
@@ -68,17 +92,22 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Stats reports memo cache hits and misses so far.
 func (e *Engine) Stats() (hits, misses uint64) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.hits, e.misses
+	st := e.memo.Stats()
+	return st.Hits, st.Misses
 }
 
+// Memo returns the memo cache backend (for stats surfaces such as the
+// analysis service's /v1/stats).
+func (e *Engine) Memo() cachestore.CacheBackend { return e.memo }
+
 // Reset drops every memoized artefact (e.g. between unrelated sweeps, to
-// bound memory).
+// bound memory) on backends that support it; hit/miss counters are kept.
 func (e *Engine) Reset() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	e.memo = map[string]*memoEntry{}
+	if r, ok := e.memo.(cachestore.Resetter); ok {
+		r.Reset()
+	}
 }
 
 // prepare returns a private clone of the memoized prepared analysis for
@@ -89,13 +118,16 @@ func (e *Engine) Reset() {
 func (e *Engine) prepare(task core.Task, sys core.SystemConfig) (*core.Analysis, error) {
 	key := core.PrepareKey(task, sys)
 	e.mu.Lock()
-	ent, ok := e.memo[key]
-	if !ok {
+	var ent *memoEntry
+	if v, ok := e.memo.Get(key); ok {
+		// A foreign value type under our key (possible only when a
+		// byte-oriented backend is shared with other producers) is
+		// recomputed in place.
+		ent, _ = v.(*memoEntry)
+	}
+	if ent == nil {
 		ent = &memoEntry{}
-		e.memo[key] = ent
-		e.misses++
-	} else {
-		e.hits++
+		e.memo.Put(key, ent)
 	}
 	e.mu.Unlock()
 	ran := false

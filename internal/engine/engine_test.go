@@ -9,6 +9,7 @@ import (
 	"sync/atomic"
 	"testing"
 
+	"paratime/internal/cachestore"
 	"paratime/internal/core"
 	"paratime/internal/flow"
 	"paratime/internal/interfere"
@@ -299,6 +300,154 @@ func TestConcurrentMemoHammer(t *testing.T) {
 	}
 	if _, misses := e.Stats(); misses != uint64(len(base)+1) {
 		t.Errorf("Reset did not drop memo entries")
+	}
+}
+
+// memoBackends enumerates every cache-backend shape the engine must be
+// correct under: unbounded memory (the default), a tightly capped LRU
+// (eviction mid-batch), a pure disk tier (declines live memo entries, so
+// every request re-prepares) and a two-tier composition.
+func memoBackends(t *testing.T) map[string]cachestore.CacheBackend {
+	t.Helper()
+	disk, err := cachestore.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk2, err := cachestore.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]cachestore.CacheBackend{
+		"memory-unbounded": cachestore.NewMemory(0),
+		"memory-capped":    cachestore.NewMemory(1),
+		"disk-only":        disk,
+		"twotier":          cachestore.NewTwoTier(cachestore.NewMemory(2), disk2),
+	}
+}
+
+// TestBackendsPreserveDeterminism: the GOMAXPROCS 1-vs-8 determinism
+// contract must hold against every cache backend — eviction, declined
+// puts and two-tier promotion may change what is recomputed, never what
+// is computed.
+func TestBackendsPreserveDeterminism(t *testing.T) {
+	sys := testSys()
+	tasks := workload.Suite()[:4]
+	ref := make([]int64, len(tasks))
+	for i, task := range tasks {
+		a, err := core.Analyze(task, sys)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref[i] = a.WCET
+	}
+	for name, backend := range memoBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			e := NewWithCache(0, backend)
+			for _, procs := range []int{1, 8} {
+				old := runtime.GOMAXPROCS(procs)
+				as, err := e.AnalyzeAll(context.Background(), Requests(tasks, sys))
+				runtime.GOMAXPROCS(old)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, a := range as {
+					if a.WCET != ref[i] {
+						t.Errorf("GOMAXPROCS=%d %s: WCET %d != sequential %d",
+							procs, tasks[i].Name, a.WCET, ref[i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBackendsPreserveCloneIsolation: mutating one handed-out clone must
+// not leak into another, whichever backend holds (or refuses to hold)
+// the memoized original.
+func TestBackendsPreserveCloneIsolation(t *testing.T) {
+	task := workload.CRC(8, workload.Slot(0))
+	sys := testSys()
+	ref, err := core.Analyze(task, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, backend := range memoBackends(t) {
+		t.Run(name, func(t *testing.T) {
+			e := NewWithCache(1, backend)
+			as, err := e.PrepareAll(context.Background(), Requests([]core.Task{task, task}, sys))
+			if err != nil {
+				t.Fatal(err)
+			}
+			shift := map[int]int{}
+			for s := 0; s < as[0].L2.Cfg.Sets; s++ {
+				shift[s] = as[0].L2.Cfg.Ways
+			}
+			as[0].L2.Reclassify(shift)
+			if err := as[0].ComputeWCET(); err != nil {
+				t.Fatal(err)
+			}
+			if err := as[1].ComputeWCET(); err != nil {
+				t.Fatal(err)
+			}
+			if as[1].WCET != ref.WCET {
+				t.Errorf("untouched clone WCET %d != solo %d (mutation leaked)", as[1].WCET, ref.WCET)
+			}
+			if as[0].WCET <= as[1].WCET {
+				t.Errorf("corrupted clone WCET %d not above solo %d", as[0].WCET, as[1].WCET)
+			}
+		})
+	}
+}
+
+// TestMemoLRUCapBoundsGrowth is the regression test for unbounded memo
+// growth: a long sweep over many distinct prepare keys on a capped
+// memory backend must (a) never hold more entries than the cap, (b)
+// actually evict, and (c) stay bit-identical to the uncapped engine.
+func TestMemoLRUCapBoundsGrowth(t *testing.T) {
+	const cap = 2
+	tasks := []core.Task{
+		workload.CRC(8, workload.Slot(0)),
+		workload.Fib(20, workload.Slot(1)),
+		workload.CountBits(4, workload.Slot(2)),
+		workload.MatMult(4, workload.Slot(3)),
+		workload.CRC(16, workload.Slot(4)),
+	}
+	sys := testSys()
+	// Two passes over five distinct keys: pass two re-prepares evicted
+	// keys on the capped engine and hits the memo on the uncapped one.
+	var reqs []Request
+	for pass := 0; pass < 2; pass++ {
+		reqs = append(reqs, Requests(tasks, sys)...)
+	}
+	mem := cachestore.NewMemory(cap)
+	capped := NewWithCache(0, mem)
+	uncapped := New(0)
+	got, err := capped.AnalyzeAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := uncapped.AnalyzeAll(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range reqs {
+		if got[i].WCET != want[i].WCET {
+			t.Errorf("request %d (%s): capped WCET %d != uncapped %d",
+				i, reqs[i].Task.Name, got[i].WCET, want[i].WCET)
+		}
+		if gs, ws := got[i].ClassSummary(), want[i].ClassSummary(); gs != ws {
+			t.Errorf("request %d (%s): capped classes %q != uncapped %q", i, reqs[i].Task.Name, gs, ws)
+		}
+	}
+	st := mem.Stats()
+	if st.Peak > cap {
+		t.Errorf("memo peak %d entries exceeds cap %d", st.Peak, cap)
+	}
+	if st.Evictions == 0 {
+		t.Errorf("five distinct keys through a cap-%d memo never evicted", cap)
+	}
+	if _, misses := uncapped.Stats(); misses != uint64(len(tasks)) {
+		t.Errorf("uncapped engine missed %d times, want %d", misses, len(tasks))
 	}
 }
 

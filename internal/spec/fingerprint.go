@@ -1,0 +1,40 @@
+package spec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Fingerprint returns a stable content address for the scenario: a
+// collision-resistant digest of its canonical JSON encoding, prefixed
+// with the schema version. It is the cache key of the analysis service
+// and a public contract:
+//
+//   - Two scenarios that decode equal — regardless of JSON key order,
+//     whitespace or indentation in the source document — share one
+//     fingerprint, because the digest is taken over the canonical
+//     re-encoding (struct field order, sorted map keys), not the input
+//     bytes.
+//   - Any semantic change (a task's program or bounds, a cache
+//     geometry, the sharing mode or its payload, sim or explore
+//     budgets, the scenario name) changes the fingerprint.
+//   - The "specN-" prefix ties the key to the schema version, so a
+//     cache can never serve an entry recorded under a different schema.
+//
+// Analysis is deterministic, so equal fingerprints mean equal reports;
+// the fingerprint may therefore key result caches that survive process
+// restarts. Only valid scenarios have fingerprints: validation failures
+// are returned rather than hashed around.
+func (s *Scenario) Fingerprint() (string, error) {
+	if err := s.Validate(); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", fmt.Errorf("spec: fingerprint: %w", err)
+	}
+	sum := sha256.Sum256(data)
+	return fmt.Sprintf("spec%d-%s", Version, hex.EncodeToString(sum[:])), nil
+}
