@@ -9,7 +9,10 @@
 //	paratime wcet <file.s>          static WCET analysis (default system)
 //	paratime sim  <file.s>          cycle-accurate solo simulation
 //	paratime suite                  analyze + simulate the benchmark suite
-//	paratime run  [-json] <file...|->  run scenario file(s) (see export)
+//	paratime run  [-json] [-parallelism n] <file...|->  run scenario file(s)
+//	                                (see export); -parallelism sets the
+//	                                intra-analysis worker count (results
+//	                                are identical at any value)
 //	paratime export <exp-id>|all    dump experiment(s) as scenario JSON
 //	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
 //	paratime tightness [-update] [file]  check (or rewrite) the precision
@@ -30,6 +33,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strconv"
 	"strings"
 
 	"paratime"
@@ -37,6 +41,7 @@ import (
 	"paratime/internal/engine"
 	"paratime/internal/experiments"
 	"paratime/internal/flow"
+	"paratime/internal/parallel"
 	"paratime/internal/spec"
 )
 
@@ -172,9 +177,22 @@ func run(ctx context.Context, args []string) error {
 // every scenario in them through the Scenario API.
 func runScenarios(ctx context.Context, args []string) error {
 	asJSON := false
-	if len(args) > 0 && args[0] == "-json" {
-		asJSON = true
-		args = args[1:]
+flags:
+	for len(args) > 0 {
+		switch {
+		case args[0] == "-json":
+			asJSON = true
+			args = args[1:]
+		case args[0] == "-parallelism" && len(args) > 1:
+			n, err := strconv.Atoi(args[1])
+			if err != nil || n < 0 {
+				return fmt.Errorf("run: -parallelism wants a non-negative integer, got %q", args[1])
+			}
+			parallel.SetDefault(n)
+			args = args[2:]
+		default:
+			break flags
+		}
 	}
 	if len(args) < 1 {
 		return fmt.Errorf("run wants scenario file(s) (or '-' for stdin)")
@@ -348,5 +366,5 @@ func withProg(args []string, f func(*paratime.Program) error) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | serve [-addr a] [-cache-dir d] [-max-inflight n] [-queue n] [-timeout d] | list")
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] [-parallelism n] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | serve [-addr a] [-cache-dir d] [-max-inflight n] [-queue n] [-timeout d] [-parallelism n] | list")
 }

@@ -15,6 +15,7 @@ import (
 // Default sizing for the serve verb's caches and queue.
 const (
 	defaultResultCacheEntries = 1024
+	defaultResultCacheBytes   = 64 << 20 // response-stream payload bound
 	defaultMemoEntries        = 256
 	defaultQueueDepth         = 64
 )
@@ -24,7 +25,10 @@ const (
 // set (so a restarted server answers known scenarios without
 // re-analyzing anything).
 func buildServeCache(cacheDir string) (cachestore.CacheBackend, error) {
-	mem := cachestore.NewMemory(defaultResultCacheEntries)
+	// Bounded by entries and bytes: cached NDJSON streams vary wildly in
+	// size (explore witnesses), so the entry bound alone cannot cap the
+	// memory footprint.
+	mem := cachestore.NewMemorySized(defaultResultCacheEntries, defaultResultCacheBytes)
 	if cacheDir == "" {
 		return mem, nil
 	}
@@ -45,6 +49,7 @@ func runServe(ctx context.Context, args []string) error {
 	maxInflight := fs.Int("max-inflight", 0, "max concurrent analyses (0: GOMAXPROCS)")
 	queue := fs.Int("queue", defaultQueueDepth, "admission queue depth (overflow answers 429)")
 	timeout := fs.Duration("timeout", 0, "per-request analysis timeout (0: none)")
+	parallelism := fs.Int("parallelism", 0, "intra-analysis workers per request (0: PARATIME_PARALLELISM or GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -60,6 +65,7 @@ func runServe(ctx context.Context, args []string) error {
 		MaxInflight: *maxInflight,
 		QueueDepth:  *queue,
 		Timeout:     *timeout,
+		Parallelism: *parallelism,
 	})
 	return srv.ListenAndServe(ctx, *addr, func(a net.Addr) {
 		fmt.Fprintf(os.Stderr, "paratime: serving on http://%s (POST /v1/analyze)\n", a)

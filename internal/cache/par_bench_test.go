@@ -1,0 +1,100 @@
+package cache
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"testing"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// benchParGraph builds a large analysis shape: nSegs sequential
+// diamonds inside a counted outer loop, so the graph has hundreds of
+// blocks and the fixpoint iterates the whole body several times.
+func benchParGraph(b *testing.B, nSegs int) *cfg.Graph {
+	b.Helper()
+	src := "        li r1, 4\n"
+	src += "outer:  add r3, r3, r1\n"
+	for i := 0; i < nSegs; i++ {
+		s := strconv.Itoa(i)
+		src += "        bne r3, r0, alt" + s + "\n"
+		src += "        addi r4, r4, 1\n"
+		src += "        j merge" + s + "\n"
+		src += "alt" + s + ":  addi r4, r4, 2\n"
+		src += "merge" + s + ": add r5, r4, r3\n"
+	}
+	src += "        addi r1, r1, -1\n"
+	src += "        bne r1, r0, outer\n"
+	src += "        halt\n"
+	g, err := cfg.Build(isa.MustAssemble("benchpar", src))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// benchParStream fills every non-exit block with mostly-exact refs over
+// a wide geometry, interning enough lines that the age vectors — and
+// with them the per-set sharded work — dominate the fixpoint cost.
+func benchParStream(b *testing.B, g *cfg.Graph, geom Config, refsPerBlock int) *Stream {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	st := &Stream{Refs: map[cfg.BlockID][]Ref{}}
+	span := uint32(geom.Sets*geom.LineBytes) * 4
+	for _, blk := range g.Blocks {
+		if blk.IsExit() {
+			continue
+		}
+		refs := make([]Ref, 0, refsPerBlock)
+		for r := 0; r < refsPerBlock; r++ {
+			if r%7 == 6 {
+				lo := rng.Uint32() % span
+				refs = append(refs, Ref{Addrs: []uint32{lo, (lo + uint32(geom.LineBytes)) % span}})
+				continue
+			}
+			refs = append(refs, Ref{Exact: true, Addr: rng.Uint32() % span})
+		}
+		st.Refs[blk.ID] = refs
+	}
+	return st
+}
+
+// BenchmarkAnalyzeParSharded: the per-set sharded Must/May fixpoint on
+// a ~500-block graph with a wide interned index, against its sequential
+// twin (workers=1 takes the sequential path unchanged). BENCH_parallel
+// records the 1/2/4/8-worker scaling.
+func BenchmarkAnalyzeParSharded(b *testing.B) {
+	g := benchParGraph(b, 100)
+	geom := Config{Name: "B", Sets: 128, Ways: 4, LineBytes: 16, HitLatency: 1, MissPenalty: 10}
+	st := benchParStream(b, g, geom, 8)
+	if n := StreamIndex(geom, st).NumSlots(); n < parMinSlots {
+		b.Fatalf("stream interns %d slots, below the sharding threshold %d", n, parMinSlots)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := AnalyzePar(g, st, geom, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeParShardedSeq is the sequential twin of
+// BenchmarkAnalyzeParSharded: the plain Analyze entry point on the
+// identical workload, for benchstat comparison.
+func BenchmarkAnalyzeParShardedSeq(b *testing.B) {
+	g := benchParGraph(b, 100)
+	geom := Config{Name: "B", Sets: 128, Ways: 4, LineBytes: 16, HitLatency: 1, MissPenalty: 10}
+	st := benchParStream(b, g, geom, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Analyze(g, st, geom); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

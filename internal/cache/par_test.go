@@ -1,0 +1,236 @@
+package cache
+
+import (
+	"math/rand"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"paratime/internal/cfg"
+)
+
+// forcePar overrides the parallel-path thresholds for one test so the
+// sharded/levelized drivers run on arbitrarily small inputs.
+func forcePar(t *testing.T, minSlots, minBlocks int) {
+	t.Helper()
+	oldSlots, oldBlocks := parMinSlots, parMinBlocks
+	parMinSlots, parMinBlocks = minSlots, minBlocks
+	t.Cleanup(func() { parMinSlots, parMinBlocks = oldSlots, oldBlocks })
+}
+
+// randomParGraph is randomLoopNest followed by a diamond, so the SCC
+// condensation has both loop components and a level of width >= 2 (the
+// levelized driver degrades to the sequential worklist on pure chains).
+func randomParGraph(t *testing.T, rng *rand.Rand) *cfg.Graph {
+	inner := 1 + rng.Intn(4)
+	outer := 1 + rng.Intn(3)
+	src := "        li r1, " + itoa(outer) + "\n"
+	src += "outer:  li r2, " + itoa(inner) + "\n"
+	src += "inner:  add r3, r3, r2\n"
+	src += "        addi r2, r2, -1\n"
+	src += "        bne r2, r0, inner\n"
+	src += "        addi r1, r1, -1\n"
+	src += "        bne r1, r0, outer\n"
+	src += "        bne r3, r0, alt\n"
+	src += "        addi r4, r4, 1\n"
+	src += "        j merge\n"
+	src += "alt:    addi r4, r4, 2\n"
+	src += "merge:  add r5, r4, r3\n"
+	src += "        halt\n"
+	return buildGraph(t, src)
+}
+
+// randParStream synthesizes a stream mixing exact, imprecise and
+// unknown references over the graph's non-exit blocks, spanning enough
+// addresses to populate several cache sets.
+func randParStream(rng *rand.Rand, g *cfg.Graph, geom Config) *Stream {
+	st := &Stream{Refs: map[cfg.BlockID][]Ref{}}
+	span := uint32(geom.Sets*geom.LineBytes) * 4
+	for _, b := range g.Blocks {
+		if b.IsExit() {
+			continue
+		}
+		refs := make([]Ref, 0, 4)
+		for r := rng.Intn(5); r > 0; r-- {
+			switch rng.Intn(8) {
+			case 0:
+				refs = append(refs, Ref{Unknown: true})
+			case 1, 2:
+				lo := rng.Uint32() % span
+				addrs := make([]uint32, 2+rng.Intn(4))
+				for i := range addrs {
+					addrs[i] = (lo + uint32(i*geom.LineBytes)) % span
+				}
+				refs = append(refs, Ref{Addrs: addrs})
+			default:
+				refs = append(refs, Ref{Exact: true, Addr: rng.Uint32() % span})
+			}
+		}
+		st.Refs[b.ID] = refs
+	}
+	return st
+}
+
+func randParCase(t *testing.T, rng *rand.Rand, withCAC bool) (*cfg.Graph, *Stream, Config, map[RefID]CAC) {
+	g := randomParGraph(t, rng)
+	geom := Config{
+		Name:        "p",
+		Sets:        2 << rng.Intn(3), // sharding needs >= 2 sets
+		Ways:        1 + rng.Intn(3),
+		LineBytes:   8 << rng.Intn(2),
+		HitLatency:  1,
+		MissPenalty: 10,
+	}
+	st := randParStream(rng, g, geom)
+	var cac map[RefID]CAC
+	if withCAC {
+		cac = map[RefID]CAC{}
+		for id, refs := range st.Refs {
+			for seq := range refs {
+				cac[RefID{Block: id, Seq: seq}] = CAC(rng.Intn(3))
+			}
+		}
+	}
+	return g, st, geom, cac
+}
+
+func requireSameResult(t *testing.T, label string, want, got *Result) {
+	t.Helper()
+	for _, kind := range []struct {
+		name   string
+		wn, gn map[cfg.BlockID]*ACS
+	}{{"Must", want.MustIn, got.MustIn}, {"May", want.MayIn, got.MayIn}} {
+		if len(kind.wn) != len(kind.gn) {
+			t.Fatalf("%s: %s reaches %d blocks, want %d", label, kind.name, len(kind.gn), len(kind.wn))
+		}
+		for id, w := range kind.wn {
+			g := kind.gn[id]
+			if g == nil || !w.Equal(g) {
+				t.Fatalf("%s: %s in-state of block %d differs", label, kind.name, id)
+			}
+		}
+	}
+	if !reflect.DeepEqual(want.Classes, got.Classes) {
+		t.Fatalf("%s: classifications differ:\nwant %v\ngot  %v", label, want.Classes, got.Classes)
+	}
+}
+
+// TestAnalyzeParMatchesSequential: both parallel strategies must equal
+// the sequential analysis bit for bit — in-states and classifications —
+// on random branchy loop nests with mixed-precision streams and random
+// CACs, at several worker counts and under GOMAXPROCS 1 and 8.
+func TestAnalyzeParMatchesSequential(t *testing.T) {
+	strategies := []struct {
+		name                string
+		minSlots, minBlocks int
+	}{
+		{"sharded", 1, 1 << 30},
+		{"levelized", 1 << 30, 1},
+	}
+	for _, sg := range strategies {
+		t.Run(sg.name, func(t *testing.T) {
+			forcePar(t, sg.minSlots, sg.minBlocks)
+			for _, procs := range []int{1, 8} {
+				old := runtime.GOMAXPROCS(procs)
+				rng := rand.New(rand.NewSource(2024))
+				for trial := 0; trial < 30; trial++ {
+					g, st, geom, cac := randParCase(t, rng, trial%2 == 1)
+					want, err := AnalyzeWithCAC(g, st, geom, cac)
+					if err != nil {
+						t.Fatalf("trial %d: sequential: %v", trial, err)
+					}
+					for _, workers := range []int{2, 3, 8} {
+						got, err := AnalyzeWithCACPar(g, st, geom, cac, workers)
+						if err != nil {
+							t.Fatalf("trial %d workers %d: %v", trial, workers, err)
+						}
+						requireSameResult(t, sg.name, want, got)
+					}
+				}
+				runtime.GOMAXPROCS(old)
+			}
+		})
+	}
+}
+
+// TestShardPlanCoversSets: plans partition the slot range contiguously.
+func TestShardPlanCoversSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		g, st, geom, _ := randParCase(t, rng, false)
+		_ = g
+		idx := StreamIndex(geom, st)
+		for _, workers := range []int{2, 3, 8, 100} {
+			// runFixpoints only uses plans with >= 2 shards; smaller
+			// plans mean the geometry has nothing to split.
+			plan := shardPlan(idx, workers)
+			if len(plan) < 2 {
+				continue
+			}
+			wantSet, wantSlot := 0, int32(0)
+			for _, sh := range plan {
+				if sh.s0 != wantSet || sh.lo != wantSlot {
+					t.Fatalf("shard %+v not contiguous after set %d slot %d", sh, wantSet, wantSlot)
+				}
+				if sh.hi <= sh.lo {
+					t.Fatalf("empty shard %+v", sh)
+				}
+				wantSet, wantSlot = sh.s1, sh.hi
+			}
+			// Trailing sets with no interned slots may stay unassigned;
+			// every slot must be covered exactly once.
+			if wantSlot != int32(idx.NumSlots()) {
+				t.Fatalf("plan covers slots [0,%d), want %d", wantSlot, idx.NumSlots())
+			}
+			for s := wantSet; s < geom.Sets; s++ {
+				if lo, hi := idx.setRange(s); lo != hi {
+					t.Fatalf("unassigned set %d is non-empty (slots [%d,%d))", s, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// FuzzParallelCacheOracle drives both parallel strategies against the
+// sequential analysis on fuzzer-chosen programs and geometries.
+func FuzzParallelCacheOracle(f *testing.F) {
+	f.Add(int64(1), uint8(2))
+	f.Add(int64(42), uint8(7))
+	f.Add(int64(-3), uint8(0xFF))
+	f.Fuzz(func(t *testing.T, seed int64, geomBits uint8) {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomParGraph(t, rng)
+		geom := Config{
+			Name:        "f",
+			Sets:        2 << (geomBits & 3),
+			Ways:        1 + int(geomBits>>2&3),
+			LineBytes:   8 << (geomBits >> 4 & 1),
+			HitLatency:  1,
+			MissPenalty: 10,
+		}
+		st := randParStream(rng, g, geom)
+		var cac map[RefID]CAC
+		if geomBits&0x20 != 0 {
+			cac = map[RefID]CAC{}
+			for id, refs := range st.Refs {
+				for seq := range refs {
+					cac[RefID{Block: id, Seq: seq}] = CAC(rng.Intn(3))
+				}
+			}
+		}
+		want, err := AnalyzeWithCAC(g, st, geom, cac)
+		if err != nil {
+			t.Skip()
+		}
+		oldSlots, oldBlocks := parMinSlots, parMinBlocks
+		defer func() { parMinSlots, parMinBlocks = oldSlots, oldBlocks }()
+		for _, th := range [][2]int{{1, 1 << 30}, {1 << 30, 1}} {
+			parMinSlots, parMinBlocks = th[0], th[1]
+			got, err := AnalyzeWithCACPar(g, st, geom, cac, 4)
+			if err != nil {
+				t.Fatalf("parallel: %v", err)
+			}
+			requireSameResult(t, "fuzz", want, got)
+		}
+	})
+}

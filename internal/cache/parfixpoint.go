@@ -1,0 +1,358 @@
+package cache
+
+import (
+	"paratime/internal/cfg"
+	"paratime/internal/parallel"
+)
+
+// Parallel-driver thresholds. Below them the fork/join overhead beats
+// the win and the sequential worklist runs unchanged. They are package
+// variables so the differential tests can force the parallel paths onto
+// arbitrarily small inputs.
+var (
+	// parMinSlots gates the per-set sharded fixpoint on interned-index
+	// size (sharding pays off when the age vectors are wide).
+	parMinSlots = 256
+	// parMinBlocks gates the levelized fixpoint on graph size (the
+	// fallback when the geometry leaves nothing to shard, e.g. one set).
+	parMinBlocks = 96
+)
+
+// AnalyzePar is Analyze with intra-analysis parallelism: workers > 1
+// runs the Must/May fixpoints sharded by cache set (or levelized over
+// the CFG's SCC condensation when the geometry leaves fewer than two
+// shards). Output is bit-identical to Analyze at any worker count: set
+// contents never interact across sets, so sharding is an exact
+// projection of the dense state, and both transfer and join are
+// monotone element-wise operators whose least fixpoint is unique.
+func AnalyzePar(g *cfg.Graph, st *Stream, cacheCfg Config, workers int) (*Result, error) {
+	return AnalyzeWithCACPar(g, st, cacheCfg, nil, workers)
+}
+
+// AnalyzeWithCACPar is AnalyzeWithCAC with intra-analysis parallelism
+// (see AnalyzePar); workers <= 1 is exactly the sequential analysis.
+func AnalyzeWithCACPar(g *cfg.Graph, st *Stream, cacheCfg Config, cac map[RefID]CAC, workers int) (*Result, error) {
+	if err := cacheCfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Cfg:     cacheCfg,
+		Classes: map[RefID]RefClass{},
+		MustIn:  map[cfg.BlockID]*ACS{},
+		MayIn:   map[cfg.BlockID]*ACS{},
+		idx:     StreamIndex(cacheCfg, st),
+		g:       g,
+		stream:  st,
+		cac:     cac,
+	}
+	ops := compileOps(g, st, cac, res.idx)
+	res.runFixpoints(g, ops, workers)
+	res.computePersistence(g, ops)
+	res.classify(g, st)
+	return res, nil
+}
+
+// runFixpoints computes Must and May in-states, picking the cheapest
+// schedule that the input shape supports: per-set shards when the
+// interned index is wide enough, the levelized fixpoint when the graph
+// is large but everything maps to too few sets, sequential otherwise.
+// Every strategy converges to the same unique least fixpoint.
+func (res *Result) runFixpoints(g *cfg.Graph, ops [][]refOp, workers int) {
+	if workers > 1 && res.idx.NumSlots() >= parMinSlots {
+		if plan := shardPlan(res.idx, workers); len(plan) >= 2 {
+			res.runFixpointSharded(g, ops, plan, workers)
+			return
+		}
+	}
+	if workers > 1 && len(g.Blocks) >= parMinBlocks {
+		if lv := cfg.Levelize(g); lv.MaxWidth() >= 2 {
+			res.publish(fixpointLevels(g, res.idx, ops, Must, lv, workers), Must)
+			res.publish(fixpointLevels(g, res.idx, ops, May, lv, workers), May)
+			return
+		}
+	}
+	res.runFixpoint(g, ops, Must, res.MustIn)
+	res.runFixpoint(g, ops, May, res.MayIn)
+}
+
+// publish moves a dense in-state vector into the block-ID-keyed result
+// map.
+func (res *Result) publish(in []*ACS, kind ACSKind) {
+	m := res.MustIn
+	if kind == May {
+		m = res.MayIn
+	}
+	for i, b := range res.g.Blocks {
+		if in[i] != nil {
+			m[b.ID] = in[i]
+		}
+	}
+}
+
+// shard is one contiguous set range [s0, s1) of an Index, covering the
+// contiguous slot range [lo, hi) (the index groups slots by set).
+type shard struct {
+	s0, s1 int
+	lo, hi int32
+}
+
+// shardPlan partitions the index's sets into at most workers contiguous
+// shards balanced by slot count (sets vary in how many distinct lines
+// they intern). Empty shards are dropped; fewer than two shards means
+// the geometry has nothing to split.
+func shardPlan(ix *Index, workers int) []shard {
+	sets := ix.cfg.Sets
+	n := ix.NumSlots()
+	if workers > sets {
+		workers = sets
+	}
+	if workers < 2 || n == 0 {
+		return nil
+	}
+	plan := make([]shard, 0, workers)
+	s0 := 0
+	done := 0
+	for p := 0; p < workers && s0 < sets; p++ {
+		// Balance the remaining slots over the remaining shards.
+		target := (n - done + (workers - p - 1)) / (workers - p)
+		s1 := s0
+		size := 0
+		for s1 < sets && (size < target || size == 0) {
+			size += int(ix.setStart[s1+1] - ix.setStart[s1])
+			s1++
+		}
+		if p == workers-1 {
+			s1 = sets
+			size = n - done
+		}
+		if size > 0 {
+			plan = append(plan, shard{s0: s0, s1: s1, lo: ix.setStart[s0], hi: ix.setStart[s1]})
+		}
+		done += size
+		s0 = s1
+	}
+	return plan
+}
+
+// subIndex builds the shard's view of the index: the contiguous slot
+// slice of sets [s0, s1) with set starts remapped so global set numbers
+// keep working (sets outside the shard become empty ranges). The lines
+// slice is shared with the parent; the view needs no slot map because
+// shard ops are pre-remapped to local slots.
+func (ix *Index) subIndex(sh shard) *Index {
+	st := make([]int32, len(ix.setStart))
+	for s := range st {
+		switch {
+		case s <= sh.s0:
+			st[s] = 0
+		case s >= sh.s1:
+			st[s] = sh.hi - sh.lo
+		default:
+			st[s] = ix.setStart[s] - sh.lo
+		}
+	}
+	return &Index{cfg: ix.cfg, lines: ix.lines[sh.lo:sh.hi], setStart: st}
+}
+
+// shardOps projects the compiled op lists onto one shard: exact and
+// imprecise references keep only slots inside the shard (remapped to
+// local slot numbers), unknown-address references are replicated into
+// every shard (Must ages every slot; May poisons globally — the flag's
+// dynamics are identical in each shard), and references that cannot
+// touch the shard (or never reach the level) are dropped. The
+// projection commutes with every transfer function, which is the whole
+// sharding argument: running the worklist on projected ops equals
+// projecting the full fixpoint.
+func shardOps(ops [][]refOp, sh shard) [][]refOp {
+	out := make([][]refOp, len(ops))
+	for bi, row := range ops {
+		if len(row) == 0 {
+			continue
+		}
+		var sub []refOp
+		for _, op := range row {
+			switch {
+			case op.cac == Never:
+				// no effect at any level: drop
+			case op.unknown:
+				sub = append(sub, op)
+			case op.slot >= 0:
+				if op.slot >= sh.lo && op.slot < sh.hi {
+					op.slot -= sh.lo
+					sub = append(sub, op)
+				}
+			default:
+				var slots, sets []int32
+				for _, s := range op.slots {
+					if s >= sh.lo && s < sh.hi {
+						slots = append(slots, s-sh.lo)
+					}
+				}
+				for _, s := range op.sets {
+					if int(s) >= sh.s0 && int(s) < sh.s1 {
+						sets = append(sets, s)
+					}
+				}
+				if len(slots) > 0 {
+					op.slots, op.sets = slots, sets
+					sub = append(sub, op)
+				}
+			}
+		}
+		out[bi] = sub
+	}
+	return out
+}
+
+// runFixpointSharded computes Must and May in-states with one worklist
+// fixpoint per (kind, shard) pair, all pairs fanned across the worker
+// pool, then merges the shard states back into full-width vectors in
+// set order. Reachability is graph-driven and identical in every shard,
+// and the May Poisoned flag evolves identically per shard (unknown ops
+// are replicated), so the merge is a plain slice stitch.
+func (res *Result) runFixpointSharded(g *cfg.Graph, ops [][]refOp, plan []shard, workers int) {
+	type task struct {
+		sh   shard
+		kind ACSKind
+		sub  *Index
+		ops  [][]refOp
+		in   []*ACS
+	}
+	tasks := make([]task, 0, 2*len(plan))
+	for _, kind := range []ACSKind{Must, May} {
+		for _, sh := range plan {
+			tasks = append(tasks, task{sh: sh, kind: kind, sub: res.idx.subIndex(sh), ops: shardOps(ops, sh)})
+		}
+	}
+	parallel.For(workers, len(tasks), func(i int) {
+		t := &tasks[i]
+		t.in = fixpointWorklist(g, t.sub, t.ops, t.kind)
+	})
+	// Stitch: shard k of a kind holds each reachable block's age slice
+	// for slots [lo, hi); shards agree on reachability and Poisoned.
+	half := len(plan)
+	for k, kind := range []ACSKind{Must, May} {
+		group := tasks[k*half : (k+1)*half]
+		m := res.MustIn
+		if kind == May {
+			m = res.MayIn
+		}
+		for bi, b := range g.Blocks {
+			if group[0].in[bi] == nil {
+				continue
+			}
+			full := &ACS{idx: res.idx, kind: kind, age: make([]uint8, res.idx.NumSlots())}
+			for si := range group {
+				part := group[si].in[bi]
+				copy(full.age[group[si].sh.lo:group[si].sh.hi], part.age)
+				full.Poisoned = full.Poisoned || part.Poisoned
+			}
+			m[b.ID] = full
+		}
+	}
+}
+
+// fixpointLevels computes one kind's in-states by sweeping the SCC
+// condensation level by level: all components of a level are mutually
+// independent and run concurrently (each touches only its own blocks'
+// states and reads only frozen earlier-level out-states — a pull-model
+// schedule with a barrier between levels), trivial components apply the
+// transfer exactly once, and loop components converge a private
+// worklist restricted to the component. Solving the equation system in
+// condensation order yields the same unique least fixpoint as the
+// global worklist.
+func fixpointLevels(g *cfg.Graph, idx *Index, ops [][]refOp, kind ACSKind, lv *cfg.Levels, workers int) []*ACS {
+	blocks := g.Blocks
+	n := len(blocks)
+	in := make([]*ACS, n)
+	out := make([]*ACS, n)
+
+	// pullIn recomputes a block's in-state from its predecessors' stored
+	// out-states (copy-first, matching the sequential join), reporting
+	// false when no predecessor has produced a state yet.
+	pullIn := func(dst *ACS, b *cfg.Block) bool {
+		if b == g.Entry {
+			dst.Reset()
+			return true
+		}
+		first := true
+		for _, e := range b.Preds {
+			p := out[int(e.From.ID)]
+			if p == nil {
+				continue
+			}
+			if first {
+				dst.CopyFrom(p)
+				first = false
+			} else {
+				dst.JoinInPlace(p)
+			}
+		}
+		return !first
+	}
+
+	runComp := func(c *cfg.Comp) {
+		scratchIn := NewACS(idx, kind)
+		if c.Trivial {
+			i := c.Blocks[0]
+			if !pullIn(scratchIn, blocks[i]) {
+				return
+			}
+			in[i] = scratchIn
+			o := scratchIn.Clone()
+			for _, op := range ops[i] {
+				o.applyOp(op)
+			}
+			out[i] = o
+			return
+		}
+		// Loop component: converge a worklist restricted to its blocks.
+		scratchOut := NewACS(idx, kind)
+		wl := cfg.NewWorklist(n)
+		for _, i := range c.Blocks {
+			wl.Push(i)
+		}
+		for {
+			i, ok := wl.Pop()
+			if !ok {
+				break
+			}
+			b := blocks[i]
+			if !pullIn(scratchIn, b) {
+				continue
+			}
+			if in[i] != nil && out[i] != nil && scratchIn.Equal(in[i]) {
+				continue
+			}
+			if in[i] == nil {
+				in[i] = scratchIn.Clone()
+			} else {
+				in[i].CopyFrom(scratchIn)
+			}
+			scratchOut.CopyFrom(scratchIn)
+			for _, op := range ops[i] {
+				scratchOut.applyOp(op)
+			}
+			if out[i] == nil {
+				out[i] = scratchOut.Clone()
+			} else if scratchOut.Equal(out[i]) {
+				continue
+			} else {
+				out[i].CopyFrom(scratchOut)
+			}
+			ci := lv.CompOf[i]
+			for _, e := range b.Succs {
+				if to := int(e.To.ID); lv.CompOf[to] == ci {
+					wl.Push(to)
+				}
+			}
+		}
+	}
+
+	for _, level := range lv.Levels {
+		parallel.For(workers, len(level), func(k int) {
+			runComp(&lv.Comps[level[k]])
+		})
+	}
+	return in
+}

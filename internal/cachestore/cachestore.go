@@ -37,7 +37,10 @@ type Stats struct {
 	Peak    int `json:"peak,omitempty"`
 	// Bytes is the payload bytes currently held ([]byte values only;
 	// live-object values held by the memory backend are not sized).
-	Bytes int64 `json:"bytes,omitempty"`
+	// PeakBytes is its high-water mark after eviction, i.e. the most the
+	// backend has ever retained — the number a byte bound actually caps.
+	Bytes     int64 `json:"bytes,omitempty"`
+	PeakBytes int64 `json:"peakBytes,omitempty"`
 }
 
 // CacheBackend is a pluggable key-value result cache. Implementations

@@ -9,11 +9,12 @@ import (
 // It is the default engine memo store (where it holds live prepared
 // analyses) and the front tier of the service's result cache.
 type Memory struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	stats Stats
+	mu       sync.Mutex
+	cap      int
+	maxBytes int64
+	ll       *list.List // front = most recently used
+	items    map[string]*list.Element
+	stats    Stats
 }
 
 type memEntry struct {
@@ -25,10 +26,20 @@ type memEntry struct {
 // capacity <= 0 is unbounded. When full, Put evicts the least recently
 // used entry.
 func NewMemory(capacity int) *Memory {
+	return NewMemorySized(capacity, 0)
+}
+
+// NewMemorySized returns a memory backend bounded both by entry count
+// (capacity <= 0: unbounded) and by payload bytes (maxBytes <= 0:
+// unbounded). The byte bound counts []byte payloads only, like
+// Stats.Bytes; a single payload larger than maxBytes is declined
+// outright rather than evicting the whole cache to make room for it.
+func NewMemorySized(capacity int, maxBytes int64) *Memory {
 	return &Memory{
-		cap:   capacity,
-		ll:    list.New(),
-		items: map[string]*list.Element{},
+		cap:      capacity,
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		items:    map[string]*list.Element{},
 	}
 }
 
@@ -38,6 +49,14 @@ func (m *Memory) Cap() int {
 		return 0
 	}
 	return m.cap
+}
+
+// MaxBytes returns the payload byte bound (0 = unbounded).
+func (m *Memory) MaxBytes() int64 {
+	if m.maxBytes <= 0 {
+		return 0
+	}
+	return m.maxBytes
 }
 
 // Get returns the value cached under key, marking it most recently used.
@@ -54,22 +73,38 @@ func (m *Memory) Get(key string) (any, bool) {
 	return el.Value.(*memEntry).val, true
 }
 
-// Put stores val under key, evicting the least recently used entries
-// beyond the capacity bound.
+// Put stores val under key, evicting least recently used entries until
+// both the capacity and byte bounds hold again (updates that grow an
+// entry evict too). A payload that alone exceeds the byte bound is
+// declined — the cache, including any previous value under the key,
+// stays as it is.
 func (m *Memory) Put(key string, val any) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Puts++
+	if m.maxBytes > 0 && sizeOf(val) > m.maxBytes {
+		return
+	}
 	if el, ok := m.items[key]; ok {
 		ent := el.Value.(*memEntry)
 		m.stats.Bytes += sizeOf(val) - sizeOf(ent.val)
 		ent.val = val
 		m.ll.MoveToFront(el)
+		m.evictLocked()
 		return
 	}
 	m.items[key] = m.ll.PushFront(&memEntry{key: key, val: val})
 	m.stats.Bytes += sizeOf(val)
-	for m.cap > 0 && m.ll.Len() > m.cap {
+	m.evictLocked()
+}
+
+// evictLocked drops LRU entries until both bounds hold, then refreshes
+// the high-water marks. The most recently used entry is never evicted
+// (oversized payloads were declined before insertion, so the bounds are
+// always reachable without it).
+func (m *Memory) evictLocked() {
+	for m.ll.Len() > 1 &&
+		((m.cap > 0 && m.ll.Len() > m.cap) || (m.maxBytes > 0 && m.stats.Bytes > m.maxBytes)) {
 		oldest := m.ll.Back()
 		ent := oldest.Value.(*memEntry)
 		m.ll.Remove(oldest)
@@ -80,6 +115,9 @@ func (m *Memory) Put(key string, val any) {
 	m.stats.Entries = m.ll.Len()
 	if m.stats.Entries > m.stats.Peak {
 		m.stats.Peak = m.stats.Entries
+	}
+	if m.stats.Bytes > m.stats.PeakBytes {
+		m.stats.PeakBytes = m.stats.Bytes
 	}
 }
 

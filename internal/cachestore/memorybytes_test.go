@@ -1,0 +1,85 @@
+package cachestore
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// TestMemoryByteBoundFlood: under a flood of large payloads the byte
+// high-water mark stays within the configured bound — the scenario the
+// serve verb's response cache faces with NDJSON streams of wildly
+// varying size.
+func TestMemoryByteBoundFlood(t *testing.T) {
+	const maxBytes = 64 << 10
+	m := NewMemorySized(0, maxBytes)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		payload := make([]byte, 1+rng.Intn(maxBytes/4))
+		m.Put(fmt.Sprintf("k%d", i%64), payload) // mixes inserts and updates
+		if st := m.Stats(); st.Bytes > maxBytes {
+			t.Fatalf("put %d: live bytes %d exceed bound %d", i, st.Bytes, maxBytes)
+		}
+	}
+	st := m.Stats()
+	if st.PeakBytes > maxBytes {
+		t.Fatalf("peak bytes %d exceed bound %d", st.PeakBytes, maxBytes)
+	}
+	if st.PeakBytes == 0 || st.Evictions == 0 {
+		t.Fatalf("flood recorded no peak (%d) or evictions (%d)", st.PeakBytes, st.Evictions)
+	}
+	if m.MaxBytes() != maxBytes {
+		t.Fatalf("MaxBytes() = %d, want %d", m.MaxBytes(), maxBytes)
+	}
+}
+
+// TestMemoryByteBoundDeclinesOversized: one payload larger than the
+// whole bound is declined outright, leaving the cache — including a
+// previous value under the same key — untouched.
+func TestMemoryByteBoundDeclinesOversized(t *testing.T) {
+	m := NewMemorySized(0, 100)
+	m.Put("a", make([]byte, 40))
+	m.Put("a", make([]byte, 200)) // declined: previous value survives
+	if v, ok := m.Get("a"); !ok || len(v.([]byte)) != 40 {
+		t.Fatalf("oversized update clobbered the entry: ok=%v", ok)
+	}
+	m.Put("big", make([]byte, 101))
+	if _, ok := m.Get("big"); ok {
+		t.Fatal("oversized insert was cached")
+	}
+	if st := m.Stats(); st.Bytes != 40 {
+		t.Fatalf("live bytes %d, want 40", st.Bytes)
+	}
+}
+
+// TestMemoryByteBoundUpdateEvicts: growing an existing entry evicts LRU
+// entries until the bound holds again.
+func TestMemoryByteBoundUpdateEvicts(t *testing.T) {
+	m := NewMemorySized(0, 100)
+	m.Put("a", make([]byte, 40))
+	m.Put("b", make([]byte, 40))
+	m.Put("b", make([]byte, 90)) // grows b; must evict a
+	if _, ok := m.Get("a"); ok {
+		t.Fatal("a survived an update-path eviction")
+	}
+	if v, ok := m.Get("b"); !ok || len(v.([]byte)) != 90 {
+		t.Fatal("grown entry b missing")
+	}
+	if st := m.Stats(); st.Bytes != 90 || st.Evictions != 1 {
+		t.Fatalf("stats %+v, want 90 bytes and 1 eviction", st)
+	}
+}
+
+// TestMemoryByteBoundKeepsNewest: the most recently used entry is never
+// evicted, even when it alone sits at the bound.
+func TestMemoryByteBoundKeepsNewest(t *testing.T) {
+	m := NewMemorySized(0, 100)
+	m.Put("a", make([]byte, 60))
+	m.Put("b", make([]byte, 100)) // evicts a, keeps b exactly at bound
+	if _, ok := m.Get("b"); !ok {
+		t.Fatal("newest entry evicted")
+	}
+	if st := m.Stats(); st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats %+v, want 1 entry of 100 bytes", st)
+	}
+}

@@ -1,0 +1,159 @@
+package cfg
+
+import "slices"
+
+// Comp is one strongly connected component of a Graph's block digraph.
+// A trivial component is a single block with no self-edge — its dataflow
+// out-state is a pure function of its predecessors' out-states, so a
+// levelized fixpoint computes it exactly once. Non-trivial components
+// (loops) need an inner fixpoint iteration.
+type Comp struct {
+	Blocks  []int // block IDs in ascending order
+	Trivial bool
+}
+
+// Levels is the SCC condensation of a Graph levelized for barrier-style
+// parallel traversal: components in Levels[l] depend only on components
+// in levels < l, so all of them can be processed concurrently with a
+// barrier between levels — the OpenMP levelized-traversal shape from the
+// parallel timing analyzers. Comps is ordered topologically (sources
+// first), so a sequential sweep over Comps is also a valid schedule.
+type Levels struct {
+	Comps  []Comp
+	Levels [][]int // per level, indices into Comps, ascending
+	CompOf []int32 // block ID -> index into Comps
+}
+
+// Levelize computes the SCC condensation and level structure of g.
+// The result depends only on the graph shape, never on map iteration or
+// scheduling, so it is safe to cache in compile-once artefacts.
+func Levelize(g *Graph) *Levels {
+	n := len(g.Blocks)
+	lv := &Levels{CompOf: make([]int32, n)}
+	if n == 0 {
+		return lv
+	}
+
+	// Iterative Tarjan. index 0 means unvisited; stored indices are
+	// offset by one. Components pop in reverse topological order
+	// (sinks first); we reverse afterwards.
+	const unvisited = 0
+	index := make([]int32, n)
+	low := make([]int32, n)
+	onStack := make([]bool, n)
+	sccStack := make([]int32, 0, n)
+	type frame struct {
+		v  int32
+		ei int
+	}
+	dfs := make([]frame, 0, n)
+	var next int32 = 1
+	var comps [][]int
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited {
+			continue
+		}
+		dfs = append(dfs, frame{v: int32(root)})
+		for len(dfs) > 0 {
+			f := &dfs[len(dfs)-1]
+			v := f.v
+			if f.ei == 0 {
+				index[v] = next
+				low[v] = next
+				next++
+				sccStack = append(sccStack, v)
+				onStack[v] = true
+			}
+			succs := g.Blocks[v].Succs
+			if f.ei < len(succs) {
+				w := int32(succs[f.ei].To.ID)
+				f.ei++
+				if index[w] == unvisited {
+					dfs = append(dfs, frame{v: w})
+				} else if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+				continue
+			}
+			// v is finished: fold its lowlink into the parent, pop the
+			// component if v is a root.
+			if low[v] == index[v] {
+				var comp []int
+				for {
+					w := sccStack[len(sccStack)-1]
+					sccStack = sccStack[:len(sccStack)-1]
+					onStack[w] = false
+					comp = append(comp, int(w))
+					if w == v {
+						break
+					}
+				}
+				slices.Sort(comp)
+				comps = append(comps, comp)
+			}
+			dfs = dfs[:len(dfs)-1]
+			if len(dfs) > 0 {
+				p := dfs[len(dfs)-1].v
+				if low[v] < low[p] {
+					low[p] = low[v]
+				}
+			}
+		}
+	}
+
+	slices.Reverse(comps) // topological: sources first
+	lv.Comps = make([]Comp, len(comps))
+	for ci, blocks := range comps {
+		trivial := len(blocks) == 1
+		if trivial {
+			for _, e := range g.Blocks[blocks[0]].Succs {
+				if int(e.To.ID) == blocks[0] {
+					trivial = false
+					break
+				}
+			}
+		}
+		lv.Comps[ci] = Comp{Blocks: blocks, Trivial: trivial}
+		for _, b := range blocks {
+			lv.CompOf[b] = int32(ci)
+		}
+	}
+
+	// level(c) = 1 + max level over predecessor components; a topological
+	// sweep over Comps sees every predecessor before its successors.
+	level := make([]int, len(lv.Comps))
+	height := 0
+	for ci, c := range lv.Comps {
+		l := 0
+		for _, b := range c.Blocks {
+			for _, e := range g.Blocks[b].Preds {
+				pc := int(lv.CompOf[e.From.ID])
+				if pc != ci && level[pc]+1 > l {
+					l = level[pc] + 1
+				}
+			}
+		}
+		level[ci] = l
+		if l+1 > height {
+			height = l + 1
+		}
+	}
+	lv.Levels = make([][]int, height)
+	for ci := range lv.Comps {
+		lv.Levels[level[ci]] = append(lv.Levels[level[ci]], ci)
+	}
+	return lv
+}
+
+// MaxWidth returns the largest number of components in any single level —
+// the available parallelism of a barrier traversal.
+func (lv *Levels) MaxWidth() int {
+	w := 0
+	for _, l := range lv.Levels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	return w
+}

@@ -1,0 +1,127 @@
+package cfg
+
+import (
+	"testing"
+
+	"paratime/internal/isa"
+)
+
+// levelsProgram builds a small program with a loop and a diamond so the
+// condensation has both trivial and non-trivial components.
+func levelsGraph(t *testing.T) *Graph {
+	t.Helper()
+	g, err := Build(isa.MustAssemble(t.Name(), `
+        li   r1, 3
+loop:   addi r1, r1, -1
+        bne  r1, r0, loop
+        bne  r2, r0, other
+        addi r3, r3, 1
+        j    join
+other:  addi r3, r3, 2
+join:   halt`))
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestLevelizeStructure(t *testing.T) {
+	g := levelsGraph(t)
+	lv := Levelize(g)
+
+	// Every block belongs to exactly one component.
+	seen := make([]int, len(g.Blocks))
+	for ci, c := range lv.Comps {
+		if len(c.Blocks) == 0 {
+			t.Fatalf("comp %d empty", ci)
+		}
+		for _, b := range c.Blocks {
+			seen[b]++
+			if int(lv.CompOf[b]) != ci {
+				t.Fatalf("CompOf[%d] = %d, want %d", b, lv.CompOf[b], ci)
+			}
+		}
+	}
+	for b, n := range seen {
+		if n != 1 {
+			t.Fatalf("block %d in %d comps", b, n)
+		}
+	}
+
+	// The loop header's component must be non-trivial (it has a back
+	// edge); entry and exit must be trivial.
+	var nontrivial int
+	for _, c := range lv.Comps {
+		if !c.Trivial {
+			nontrivial++
+			if len(c.Blocks) < 1 {
+				t.Fatalf("non-trivial comp with no blocks")
+			}
+		}
+	}
+	if nontrivial == 0 {
+		t.Fatalf("expected at least one non-trivial comp (the loop), got none")
+	}
+	if !lv.Comps[lv.CompOf[g.Entry.ID]].Trivial {
+		t.Fatalf("entry comp should be trivial")
+	}
+	if !lv.Comps[lv.CompOf[g.Exit.ID]].Trivial {
+		t.Fatalf("exit comp should be trivial")
+	}
+
+	// Topological property: every edge either stays inside a component
+	// or goes from a lower level (and lower comp index) to a higher one.
+	level := make([]int, len(lv.Comps))
+	for l, comps := range lv.Levels {
+		for _, ci := range comps {
+			level[ci] = l
+		}
+	}
+	for _, e := range g.Edges {
+		cf, ct := lv.CompOf[e.From.ID], lv.CompOf[e.To.ID]
+		if cf == ct {
+			continue
+		}
+		if cf > ct {
+			t.Fatalf("edge %v: comp order violated (%d -> %d)", e, cf, ct)
+		}
+		if level[cf] >= level[ct] {
+			t.Fatalf("edge %v: level order violated (%d -> %d)", e, level[cf], level[ct])
+		}
+	}
+
+	// Entry is in level 0; MaxWidth consistent with Levels.
+	if level[lv.CompOf[g.Entry.ID]] != 0 {
+		t.Fatalf("entry not in level 0")
+	}
+	w := 0
+	for _, l := range lv.Levels {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	if lv.MaxWidth() != w {
+		t.Fatalf("MaxWidth() = %d, want %d", lv.MaxWidth(), w)
+	}
+}
+
+func TestLevelizeDeterministic(t *testing.T) {
+	g := levelsGraph(t)
+	a, b := Levelize(g), Levelize(g)
+	if len(a.Comps) != len(b.Comps) || len(a.Levels) != len(b.Levels) {
+		t.Fatalf("non-deterministic shape")
+	}
+	for i := range a.Comps {
+		if a.Comps[i].Trivial != b.Comps[i].Trivial {
+			t.Fatalf("comp %d trivial flag differs", i)
+		}
+		if len(a.Comps[i].Blocks) != len(b.Comps[i].Blocks) {
+			t.Fatalf("comp %d size differs", i)
+		}
+		for j := range a.Comps[i].Blocks {
+			if a.Comps[i].Blocks[j] != b.Comps[i].Blocks[j] {
+				t.Fatalf("comp %d block %d differs", i, j)
+			}
+		}
+	}
+}

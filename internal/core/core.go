@@ -22,6 +22,7 @@ import (
 	"paratime/internal/ipet"
 	"paratime/internal/isa"
 	"paratime/internal/memctrl"
+	"paratime/internal/parallel"
 	"paratime/internal/pipeline"
 )
 
@@ -45,6 +46,13 @@ type MemSystem struct {
 type SystemConfig struct {
 	Pipeline pipeline.Config
 	Mem      MemSystem
+	// Parallelism is the worker count for intra-analysis parallelism
+	// (cache and pipeline fixpoints, exploration pricing). 0 resolves to
+	// the process default (parallel.Default: PARATIME_PARALLELISM or
+	// GOMAXPROCS). It is an execution knob, not a model parameter: every
+	// result is bit-identical at any value, and it is deliberately
+	// excluded from PrepareKey and scenario fingerprints.
+	Parallelism int
 }
 
 // DefaultSystem returns the canonical small embedded configuration:
@@ -167,10 +175,11 @@ func Prepare(task Task, sys SystemConfig) (*Analysis, error) {
 	a.PipeOps = pipeline.Compile(g)
 	a.IStream = cache.FetchStream(g)
 	a.DStream = cache.DataStream(g, a.Addrs)
-	if a.L1I, err = cache.Analyze(g, a.IStream, sys.Mem.L1I); err != nil {
+	workers := parallel.Resolve(sys.Parallelism)
+	if a.L1I, err = cache.AnalyzePar(g, a.IStream, sys.Mem.L1I, workers); err != nil {
 		return nil, fmt.Errorf("task %s L1I: %w", task.Name, err)
 	}
-	if a.L1D, err = cache.Analyze(g, a.DStream, sys.Mem.L1D); err != nil {
+	if a.L1D, err = cache.AnalyzePar(g, a.DStream, sys.Mem.L1D, workers); err != nil {
 		return nil, fmt.Errorf("task %s L1D: %w", task.Name, err)
 	}
 	if sys.Mem.L2 != nil {
@@ -224,7 +233,7 @@ func (a *Analysis) RecomputeL2() error {
 	if a.Sys.Mem.L2 == nil {
 		return nil
 	}
-	res, err := cache.AnalyzeWithCAC(a.G, a.Merged, *a.Sys.Mem.L2, a.CAC)
+	res, err := cache.AnalyzeWithCACPar(a.G, a.Merged, *a.Sys.Mem.L2, a.CAC, parallel.Resolve(a.Sys.Parallelism))
 	if err != nil {
 		return err
 	}
@@ -265,7 +274,8 @@ func (a *Analysis) Clone() *Analysis {
 // flow annotations, and the three cache geometries — and nothing it does
 // not (pipeline parameters, bus delay and memory latency only enter at
 // ComputeWCET, so one prepared prefix serves every bus-arbiter or
-// pipeline sweep over the same task).
+// pipeline sweep over the same task; Parallelism never changes results,
+// so memoized artefacts are shared across worker counts).
 func PrepareKey(task Task, sys SystemConfig) string {
 	var sb strings.Builder
 	sb.WriteString(task.Prog.Fingerprint())
@@ -426,7 +436,7 @@ func (a *Analysis) ComputeWCET() error {
 		// Hand-assembled Analysis (not via Prepare): compile on demand.
 		a.PipeOps = pipeline.Compile(a.G)
 	}
-	pipe, err := a.PipeOps.AnalyzeCosts(a.Sys.Pipeline, worst, base)
+	pipe, err := a.PipeOps.AnalyzeCostsPar(a.Sys.Pipeline, worst, base, parallel.Resolve(a.Sys.Parallelism))
 	if err != nil {
 		return err
 	}

@@ -134,7 +134,25 @@ type Result struct {
 type trace struct {
 	path      string
 	decisions int
-	truncated bool // exceeded MaxSteps or MaxBranchDecisions
+	truncated bool
+	// reason names the Budget field that cut the trace off ("MaxSteps"
+	// or "MaxBranchDecisions"); empty for complete traces.
+	reason string
+}
+
+// truncatedBudgetErr is the all-truncated failure, naming the Budget
+// field(s) that actually tripped so callers know which limit to raise.
+func truncatedBudgetErr(sawSteps, sawDecisions bool) error {
+	var limit string
+	switch {
+	case sawSteps && sawDecisions:
+		limit = "MaxSteps or MaxBranchDecisions"
+	case sawSteps:
+		limit = "MaxSteps"
+	default:
+		limit = "MaxBranchDecisions"
+	}
+	return fmt.Errorf("explore: no state could be priced within the budgets (every trace exceeded %s)", limit)
 }
 
 // Explore enumerates every input assignment and initial cache pattern
@@ -179,6 +197,7 @@ func Explore(sys sim.System, inputs []Input, b Budget) (*Result, error) {
 	}
 	paths := map[string]bool{}
 	priced := 0
+	var sawSteps, sawDecisions bool
 	idxs := make([]int64, n)
 	for pat := 0; pat < b.InitStates && priced < b.MaxStates; pat++ {
 		for combo := int64(0); combo < combos && priced < b.MaxStates; combo++ {
@@ -195,6 +214,8 @@ func Explore(sys sim.System, inputs []Input, b Budget) (*Result, error) {
 				trs[c] = tr
 				if tr.truncated {
 					ok = false
+					sawSteps = sawSteps || tr.reason == "MaxSteps"
+					sawDecisions = sawDecisions || tr.reason == "MaxBranchDecisions"
 				}
 			}
 			if !ok {
@@ -230,7 +251,7 @@ func Explore(sys sim.System, inputs []Input, b Budget) (*Result, error) {
 		}
 	}
 	if priced == 0 {
-		return nil, fmt.Errorf("explore: no state could be priced within the budgets (every trace exceeded MaxSteps or MaxBranchDecisions)")
+		return nil, truncatedBudgetErr(sawSteps, sawDecisions)
 	}
 	res.States = priced
 	res.Paths = len(paths)
@@ -428,7 +449,7 @@ func runTaint(prog *isa.Program, assign []RegValue, b Budget) (*trace, error) {
 	decisions := 0
 	for steps := int64(0); !st.Halted; steps++ {
 		if steps >= b.MaxSteps {
-			return &trace{truncated: true}, nil
+			return &trace{truncated: true, reason: "MaxSteps"}, nil
 		}
 		idx := st.Prog.Index(st.PC)
 		if idx < 0 {
@@ -465,7 +486,7 @@ func runTaint(prog *isa.Program, assign []RegValue, b Budget) (*trace, error) {
 				// control choice the explorer cannot enumerate finitely.
 				decisions++
 				if decisions > b.MaxBranchDecisions {
-					return &trace{truncated: true}, nil
+					return &trace{truncated: true, reason: "MaxBranchDecisions"}, nil
 				}
 				path.WriteByte('R')
 			}
@@ -473,7 +494,7 @@ func runTaint(prog *isa.Program, assign []RegValue, b Budget) (*trace, error) {
 			if taintReg[in.Rs1] || taintReg[in.Rs2] {
 				decisions++
 				if decisions > b.MaxBranchDecisions {
-					return &trace{truncated: true}, nil
+					return &trace{truncated: true, reason: "MaxBranchDecisions"}, nil
 				}
 				if st.PC == in.Target {
 					path.WriteByte('T')

@@ -1,0 +1,99 @@
+package pipeline
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// benchTreeGraph emits a binary branch tree of the given depth whose
+// leaves carry fat straight-line bodies, all converging on one merge
+// chain. The condensation is a pure DAG with a 2^depth-wide leaf level
+// — the shape the level-parallel context fixpoint is built for.
+func benchTreeGraph(b *testing.B, depth, leafInsts int) *cfg.Graph {
+	b.Helper()
+	var sb strings.Builder
+	var emit func(path string, d int)
+	emit = func(path string, d int) {
+		if d == 0 {
+			sb.WriteString("leaf" + path + ":\n")
+			for i := 0; i < leafInsts; i++ {
+				switch i % 4 {
+				case 0:
+					sb.WriteString("        mul  r4, r2, r2\n")
+				case 1:
+					sb.WriteString("        add  r5, r5, r4\n")
+				case 2:
+					sb.WriteString("        ld   r3, 0(r7)\n")
+				default:
+					sb.WriteString("        st   r3, 4(r7)\n")
+				}
+			}
+			sb.WriteString("        j    done\n")
+			return
+		}
+		right := "node" + path + "R"
+		if d == 1 {
+			right = "leaf" + path + "R"
+		}
+		sb.WriteString("node" + path + ":\n")
+		sb.WriteString("        andi r8, r1, " + fmt.Sprint(1<<(depth-d)) + "\n")
+		sb.WriteString("        bne  r8, r0, " + right + "\n")
+		emit(path+"L", d-1)
+		emit(path+"R", d-1)
+	}
+	sb.WriteString("        li   r7, 0x8000\n")
+	emit("", depth)
+	sb.WriteString("done:   halt\n")
+	g, err := cfg.Build(isa.MustAssemble("benchtree", sb.String()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkAnalyzeCostsPar: the level-parallel context fixpoint plus
+// parallel base pricing on a 64-leaf branch tree, against its
+// sequential twin below. BENCH_parallel records the worker scaling.
+func BenchmarkAnalyzeCostsPar(b *testing.B) {
+	g := benchTreeGraph(b, 6, 48)
+	c := Compile(g)
+	lv := c.levels()
+	if lv.MaxWidth() < 2 || !compContiguous(lv, len(g.Blocks)) {
+		b.Fatalf("tree graph not parallelizable (width %d)", lv.MaxWidth())
+	}
+	oldMin := parMinBlocks
+	parMinBlocks = 1
+	defer func() { parMinBlocks = oldMin }()
+	pc := DefaultConfig()
+	worst := randTiming(7, 3, 9)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := c.AnalyzeCostsPar(pc, worst, flatBase, workers); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAnalyzeCostsParSeq is the sequential twin of
+// BenchmarkAnalyzeCostsPar: plain AnalyzeCosts on the same tree, for
+// benchstat comparison.
+func BenchmarkAnalyzeCostsParSeq(b *testing.B) {
+	g := benchTreeGraph(b, 6, 48)
+	c := Compile(g)
+	pc := DefaultConfig()
+	worst := randTiming(7, 3, 9)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.AnalyzeCosts(pc, worst, flatBase); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package pipeline
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"paratime/internal/cfg"
+	"paratime/internal/isa"
+)
+
+// randParProgram is randProgram plus a post-loop diamond, so the SCC
+// condensation has a level of width >= 2 and AnalyzeCostsPar takes the
+// levelized path instead of falling back (randProgram's own diamond is
+// inside the inner loop and condenses into the loop component).
+func randParProgram(t testing.TB, rng *rand.Rand) *cfg.Graph {
+	outer := 1 + rng.Intn(5)
+	inner := 1 + rng.Intn(6)
+	src := fmt.Sprintf("        li   r1, %d\n", outer)
+	src += "        li   r7, 0x8000\n"
+	src += fmt.Sprintf("outer:  li   r2, %d\n", inner)
+	src += "inner:  mul  r4, r2, r2\n"
+	if rng.Intn(2) == 0 {
+		src += "        ld   r3, 0(r7)\n"
+		src += "        st   r3, 4(r7)\n"
+	}
+	src += "        add  r5, r5, r4\n"
+	src += "        addi r2, r2, -1\n"
+	src += "        bne  r2, r0, inner\n"
+	src += "        addi r1, r1, -1\n"
+	src += "        bne  r1, r0, outer\n"
+	src += "        andi r8, r5, 1\n"
+	src += "        beq  r8, r0, even\n"
+	src += "        mul  r9, r5, r5\n"
+	src += "        j    next\n"
+	src += "even:   add  r9, r9, r5\n"
+	src += "next:   div  r6, r9, r5\n"
+	src += "        halt\n"
+	g, err := cfg.Build(isa.MustAssemble("randpar", src))
+	if err != nil {
+		t.Fatalf("build: %v\n%s", err, src)
+	}
+	return g
+}
+
+// TestAnalyzeCostsParMatchesSequential: the levelized context fixpoint
+// must reproduce the sequential result exactly — contexts, reached set
+// and costs — on random loop-nest-plus-diamond programs with random
+// timings, at several worker counts under GOMAXPROCS 1 and 8.
+func TestAnalyzeCostsParMatchesSequential(t *testing.T) {
+	oldMin := parMinBlocks
+	parMinBlocks = 1
+	t.Cleanup(func() { parMinBlocks = oldMin })
+
+	for _, procs := range []int{1, 8} {
+		old := runtime.GOMAXPROCS(procs)
+		rng := rand.New(rand.NewSource(711))
+		for trial := 0; trial < 40; trial++ {
+			g := randParProgram(t, rng)
+			c := Compile(g)
+			// Guard against a silent sequential fallback: the generator
+			// must produce graphs the levelized driver accepts.
+			lv := c.levels()
+			if lv.MaxWidth() < 2 || !compContiguous(lv, len(g.Blocks)) {
+				t.Fatalf("trial %d: generator produced a non-parallelizable graph (width %d)",
+					trial, lv.MaxWidth())
+			}
+			pc := DefaultConfig()
+			pc.BranchPenalty = rng.Intn(4)
+			worst := randTiming(rng.Int63(), 1+rng.Intn(4), 1+rng.Intn(12))
+			base := randTiming(rng.Int63(), 1+rng.Intn(4), 1+rng.Intn(12))
+			want, wantErr := c.AnalyzeCosts(pc, worst, base)
+			for _, workers := range []int{2, 8} {
+				got, gotErr := c.AnalyzeCostsPar(pc, worst, base, workers)
+				if (wantErr == nil) != (gotErr == nil) {
+					t.Fatalf("trial %d workers %d: error mismatch: sequential %v, parallel %v",
+						trial, workers, wantErr, gotErr)
+				}
+				if wantErr != nil {
+					if wantErr.Error() != gotErr.Error() {
+						t.Fatalf("trial %d workers %d: error text: %q vs %q",
+							trial, workers, wantErr, gotErr)
+					}
+					continue
+				}
+				for _, b := range g.Blocks {
+					if want.seen[b.ID] != got.seen[b.ID] {
+						t.Fatalf("trial %d workers %d: block %d reached %v, want %v",
+							trial, workers, b.ID, got.seen[b.ID], want.seen[b.ID])
+					}
+					if want.in[b.ID] != got.in[b.ID] {
+						t.Fatalf("trial %d workers %d: block %d in-context differs:\nwant %+v\ngot  %+v",
+							trial, workers, b.ID, want.in[b.ID], got.in[b.ID])
+					}
+					if want.cost[b.ID] != got.cost[b.ID] {
+						t.Fatalf("trial %d workers %d: block %d cost %d, want %d",
+							trial, workers, b.ID, got.cost[b.ID], want.cost[b.ID])
+					}
+				}
+			}
+		}
+		runtime.GOMAXPROCS(old)
+	}
+}
+
+// TestAnalyzeCostsParFallback: below the size threshold (or at one
+// worker) the parallel entry point must still agree — it runs the
+// sequential analysis unchanged.
+func TestAnalyzeCostsParFallback(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randParProgram(t, rng)
+	c := Compile(g)
+	pc := DefaultConfig()
+	worst := randTiming(3, 3, 9)
+	base := randTiming(4, 2, 5)
+	want, err := c.AnalyzeCosts(pc, worst, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 8} { // 8 still falls back: len(blocks) < parMinBlocks
+		got, err := c.AnalyzeCostsPar(pc, worst, base, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, b := range g.Blocks {
+			if want.in[b.ID] != got.in[b.ID] || want.cost[b.ID] != got.cost[b.ID] {
+				t.Fatalf("workers %d: block %d differs", workers, b.ID)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"paratime/internal/cfg"
+	"paratime/internal/parallel"
+)
+
+// parMinBlocks gates the level-parallel context fixpoint: below it the
+// per-level fork/join overhead beats the win and AnalyzeCosts runs
+// unchanged. Package variable so the differential tests can force the
+// parallel path onto arbitrarily small graphs.
+var parMinBlocks = 96
+
+// levels lazily computes (and caches) the SCC condensation of the
+// compiled graph. Safe for concurrent callers; every clone sharing the
+// artefact shares the result.
+func (c *Compiled) levels() *cfg.Levels {
+	c.lvOnce.Do(func() { c.lv = cfg.Levelize(c.g) })
+	return c.lv
+}
+
+// compContiguous reports whether the condensation's components, in
+// topological order, tile the block range [0, n) as contiguous ascending
+// intervals. When they do, the sequential RPO-priority worklist drains
+// each component completely before popping any block of a later one, so
+// a component-by-component schedule replays the sequential run exactly.
+func compContiguous(lv *cfg.Levels, n int) bool {
+	off := 0
+	for _, comp := range lv.Comps {
+		for _, b := range comp.Blocks {
+			if b != off {
+				return false
+			}
+			off++
+		}
+	}
+	return off == n
+}
+
+// AnalyzeCostsPar is AnalyzeCosts with the context fixpoint scheduled
+// level-parallel over the SCC condensation: all components of a level
+// run concurrently with a barrier between levels, each converging a
+// private worklist restricted to its own blocks.
+//
+// The result is bit-identical to AnalyzeCosts at any worker count even
+// though the pipeline recurrence is NOT monotone (raising an input
+// availability can raise the block duration by more, shrinking an
+// output): the sequential in-contexts are the pointwise max over every
+// edge contribution the schedule delivers, and this schedule delivers
+// exactly the same contributions. Within a component the restricted
+// worklist replays the sequential pops one-for-one (RPO-contiguity of
+// components, checked above, guarantees the sequential heap would not
+// interleave other components); across components each delivery folds
+// into the target under its lock, and pointwise max is order-invariant.
+// Components of one level never share an edge (levels are strictly
+// increasing along edges), so they only race on later-level targets.
+//
+// Graphs whose condensation is not RPO-contiguous (or too small / too
+// narrow to pay off) fall back to the sequential analysis.
+func (c *Compiled) AnalyzeCostsPar(pc Config, worst, base TimingFn, workers int) (*CostResult, error) {
+	n := len(c.blocks)
+	if workers <= 1 || n < parMinBlocks {
+		return c.AnalyzeCosts(pc, worst, base)
+	}
+	lv := c.levels()
+	if lv.MaxWidth() < 2 || !compContiguous(lv, n) {
+		return c.AnalyzeCosts(pc, worst, base)
+	}
+
+	lt := pc.Latencies()
+	redirectPen := pc.BranchPenalty
+	blocks := c.g.Blocks
+	in := make([]Context, n)
+	seen := make([]bool, n)
+	pending := make([]bool, n) // delivered-to, not yet drained; owner comp resets
+	locks := make([]sync.Mutex, n)
+	entry := int(c.g.Entry.ID)
+	seen[entry] = true
+	pending[entry] = true
+	var budget atomic.Int64
+	budget.Store(int64(maxFixIter) * int64(n+1))
+	var exhausted atomic.Bool
+
+	runComp := func(comp *cfg.Comp) {
+		wl := cfg.NewWorklist(n)
+		for _, i := range comp.Blocks {
+			if pending[i] {
+				pending[i] = false
+				wl.Push(i)
+			}
+		}
+		ci := lv.CompOf[comp.Blocks[0]]
+		var bt BlockTiming
+		for {
+			i, ok := wl.Pop()
+			if !ok {
+				return
+			}
+			if budget.Add(-1) < 0 {
+				exhausted.Store(true)
+				return
+			}
+			m := &c.blocks[i]
+			if m.exit || len(m.succs) == 0 {
+				continue // exit passes the context through and has no successors
+			}
+			execOps(&bt, &lt, c.ops[m.start:m.end], blocks[i], worst, &in[i])
+			for _, e := range m.succs {
+				ifFloor := ctxClamp - 1 // below every clamped value: no effect
+				if e.redirect {
+					ifFloor = clamp(bt.Resolve + redirectPen - bt.Dur)
+				}
+				to := int(e.to)
+				if lv.CompOf[to] == ci {
+					// Intra-component edge: single-threaded here, so the
+					// sequential first-copy / join-and-push rules apply as-is.
+					if !seen[to] {
+						in[to] = bt.Out
+						if ifFloor > in[to].Avail[IF] {
+							in[to].Avail[IF] = ifFloor
+						}
+						seen[to] = true
+						wl.Push(to)
+					} else if in[to].joinEdge(&bt.Out, ifFloor) {
+						wl.Push(to)
+					}
+				} else {
+					// Cross-component edge: the target's component runs in a
+					// strictly later level, so fold the contribution under the
+					// target's lock and flag it for that run.
+					locks[to].Lock()
+					if !seen[to] {
+						in[to] = bt.Out
+						if ifFloor > in[to].Avail[IF] {
+							in[to].Avail[IF] = ifFloor
+						}
+						seen[to] = true
+						pending[to] = true
+					} else if in[to].joinEdge(&bt.Out, ifFloor) {
+						pending[to] = true
+					}
+					locks[to].Unlock()
+				}
+			}
+		}
+	}
+
+	for _, level := range lv.Levels {
+		parallel.For(workers, len(level), func(k int) {
+			runComp(&lv.Comps[level[k]])
+		})
+		if exhausted.Load() {
+			return nil, fmt.Errorf("pipeline: context fixpoint did not converge")
+		}
+	}
+
+	// Base pricing reads each block's now-frozen in-context independently.
+	res := &CostResult{cost: make([]int, n), in: in, seen: seen}
+	parallel.For(workers, n, func(i int) {
+		if c.blocks[i].exit {
+			return
+		}
+		var bt BlockTiming
+		execOps(&bt, &lt, c.ops[c.blocks[i].start:c.blocks[i].end], blocks[i], base, &in[i])
+		res.cost[i] = bt.Dur
+	})
+	return res, nil
+}

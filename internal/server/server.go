@@ -35,6 +35,7 @@ import (
 
 	"paratime/internal/cachestore"
 	"paratime/internal/engine"
+	"paratime/internal/parallel"
 	"paratime/internal/spec"
 )
 
@@ -72,6 +73,12 @@ type Config struct {
 	// MaxBody bounds the request body in bytes; <= 0 selects
 	// DefaultMaxBody.
 	MaxBody int64
+	// Parallelism sets the process-wide intra-analysis worker count
+	// (parallel.SetDefault) used by every analysis this server runs;
+	// <= 0 keeps the current default (PARATIME_PARALLELISM or
+	// GOMAXPROCS). Results are bit-identical at any value — this is
+	// purely a throughput/latency trade against MaxInflight.
+	Parallelism int
 	// Analyze runs one validated scenario; nil selects spec.Run. It is
 	// a seam for tests that need deterministic blocking or failure.
 	Analyze func(ctx context.Context, s *spec.Scenario, eng *engine.Engine) (*spec.Report, error)
@@ -93,7 +100,27 @@ type Server struct {
 	rejected    atomic.Uint64 // requests turned away by admission control
 	failed      atomic.Uint64 // scenarios whose analysis errored
 
+	// queueWait histograms each admitted request's admission latency
+	// (fast-path slot grabs land in le_1).
+	queueWait [len(queueWaitBounds) + 1]atomic.Uint64
+
 	mux *http.ServeMux
+}
+
+// queueWaitBounds are the le_* bucket upper bounds of the admission-wait
+// histogram, in milliseconds; waits beyond the last land in gt_1000.
+var queueWaitBounds = [...]int64{1, 5, 10, 50, 100, 500, 1000}
+
+// observeQueueWait records one admitted request's admission latency.
+func (s *Server) observeQueueWait(d time.Duration) {
+	ms := d.Milliseconds()
+	for i, b := range queueWaitBounds {
+		if ms <= b {
+			s.queueWait[i].Add(1)
+			return
+		}
+	}
+	s.queueWait[len(queueWaitBounds)].Add(1)
 }
 
 // New returns a Server for the configuration.
@@ -112,6 +139,9 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Analyze == nil {
 		cfg.Analyze = spec.Run
+	}
+	if cfg.Parallelism > 0 {
+		parallel.SetDefault(cfg.Parallelism)
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -161,7 +191,9 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 // admitted (429 when slots and queue are full, 503 when the client went
 // away while queued).
 func (s *Server) admit(ctx context.Context) (func(), int) {
+	start := time.Now()
 	acquire := func() func() {
+		s.observeQueueWait(time.Since(start))
 		s.inflight.Add(1)
 		return func() {
 			s.inflight.Add(-1)
@@ -397,8 +429,14 @@ type StatsReply struct {
 		Queued      int `json:"queued"`
 		MaxInflight int `json:"maxInflight"`
 		QueueDepth  int `json:"queueDepth"`
+		// WaitMs histograms each admitted request's admission latency
+		// (slot wait), in milliseconds.
+		WaitMs QueueWaitReply `json:"queue_wait_ms"`
 	} `json:"queue"`
-	Engine struct {
+	// Parallelism is the effective intra-analysis worker count applied
+	// to every analysis this server runs.
+	Parallelism int `json:"parallelism"`
+	Engine      struct {
 		// MemoHits/MemoMisses are the engine's Prepare-memo counters; a
 		// warm-restart cache hit leaves both untouched.
 		MemoHits   uint64 `json:"memoHits"`
@@ -407,6 +445,20 @@ type StatsReply struct {
 	// Cache reports the result cache (absent when caching is disabled);
 	// Memory/Disk carry per-tier detail for a two-tier cache.
 	Cache *CacheStatsReply `json:"cache,omitempty"`
+}
+
+// QueueWaitReply is the fixed-bucket admission-wait histogram of the
+// /v1/stats document. Buckets are cumulative counts per latency range,
+// not cumulative-over-bounds: each admitted request lands in exactly one.
+type QueueWaitReply struct {
+	Le1    uint64 `json:"le_1"`
+	Le5    uint64 `json:"le_5"`
+	Le10   uint64 `json:"le_10"`
+	Le50   uint64 `json:"le_50"`
+	Le100  uint64 `json:"le_100"`
+	Le500  uint64 `json:"le_500"`
+	Le1000 uint64 `json:"le_1000"`
+	Gt1000 uint64 `json:"gt_1000"`
 }
 
 // CacheStatsReply reports the result cache, with optional per-tier
@@ -429,6 +481,17 @@ func (s *Server) Stats() StatsReply {
 	reply.Queue.Queued = int(s.queued.Load())
 	reply.Queue.MaxInflight = s.cfg.MaxInflight
 	reply.Queue.QueueDepth = s.cfg.QueueDepth
+	reply.Queue.WaitMs = QueueWaitReply{
+		Le1:    s.queueWait[0].Load(),
+		Le5:    s.queueWait[1].Load(),
+		Le10:   s.queueWait[2].Load(),
+		Le50:   s.queueWait[3].Load(),
+		Le100:  s.queueWait[4].Load(),
+		Le500:  s.queueWait[5].Load(),
+		Le1000: s.queueWait[6].Load(),
+		Gt1000: s.queueWait[7].Load(),
+	}
+	reply.Parallelism = parallel.Default()
 	reply.Engine.MemoHits, reply.Engine.MemoMisses = s.cfg.Engine.Stats()
 	if s.cfg.Cache != nil {
 		cs := &CacheStatsReply{Stats: s.cfg.Cache.Stats()}

@@ -15,6 +15,7 @@ import (
 	"paratime/internal/interfere"
 	"paratime/internal/isa"
 	"paratime/internal/memctrl"
+	"paratime/internal/parallel"
 	"paratime/internal/partition"
 	"paratime/internal/sched"
 	"paratime/internal/sim"
@@ -326,7 +327,7 @@ func runExplore(s *Scenario, tasks []core.Task, sys core.SystemConfig, mem memct
 			if err != nil {
 				return err
 			}
-			res, err := explore.Explore(sim.FromConfig(sys, mem, nil, false, tasks[i]), ins, b)
+			res, err := explore.ExplorePar(sim.FromConfig(sys, mem, nil, false, tasks[i]), ins, b, parallel.Resolve(sys.Parallelism))
 			if err != nil {
 				return fmt.Errorf("spec: explore task %q: %w", tasks[i].Name, err)
 			}
@@ -351,7 +352,7 @@ func runExplore(s *Scenario, tasks []core.Task, sys core.SystemConfig, mem memct
 		if err != nil {
 			return err
 		}
-		res, err := explore.Explore(simSys, ins, b)
+		res, err := explore.ExplorePar(simSys, ins, b, parallel.Resolve(sys.Parallelism))
 		if err != nil {
 			return fmt.Errorf("spec: explore: %w", err)
 		}
