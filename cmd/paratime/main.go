@@ -17,6 +17,10 @@
 //	paratime exp  <id>|all          run experiment(s), e.g. e4 (see list)
 //	paratime tightness [-update] [file]  check (or rewrite) the precision
 //	                                baseline, default TIGHTNESS.json
+//	paratime sweep [flags] <sweep.json|->  stream a scenario product-space
+//	                                ("sweep": 1): one result line per
+//	                                point, artefact reuse across points,
+//	                                incremental re-runs via -cache-dir
 //	paratime serve [flags]          HTTP analysis service (POST /v1/analyze)
 //	paratime list                   list experiments
 //
@@ -161,6 +165,8 @@ func run(ctx context.Context, args []string) error {
 		return runExperiments(ctx, args[1:])
 	case "tightness":
 		return runTightness(args[1:])
+	case "sweep":
+		return runSweep(ctx, args[1:])
 	case "serve":
 		return runServe(ctx, args[1:])
 	case "list":
@@ -366,5 +372,5 @@ func withProg(args []string, f func(*paratime.Program) error) error {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] [-parallelism n] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | serve [-addr a] [-cache-dir d] [-max-inflight n] [-queue n] [-timeout d] [-parallelism n] | list")
+	return fmt.Errorf("usage: paratime asm|cfg|wcet|sim <file.s> | suite | run [-json] [-parallelism n] <scenario.json...|-> | export <id>|all | exp <id>|all | tightness [-update] [file] | sweep [-json] [-parallelism n] [-cache-dir d] [-out f] [-unordered] <sweep.json|-> | serve [-addr a] [-cache-dir d] [-max-inflight n] [-queue n] [-timeout d] [-parallelism n] | list")
 }

@@ -121,6 +121,68 @@ func TestExportRunPipeline(t *testing.T) {
 	}
 }
 
+// TestSweepGolden pins the text stream of `paratime sweep` on the
+// checked-in sweep file: one aligned line per point, in point order.
+func TestSweepGolden(t *testing.T) {
+	out := capture(t, func() error {
+		return run(context.Background(), []string{"sweep", filepath.Join("testdata", "sweep.json")})
+	})
+	checkGolden(t, "sweep.golden", out)
+}
+
+// TestSweepGoldenJSON pins the NDJSON stream — and with it the ordered
+// mode's determinism contract (the golden must match at any
+// -parallelism).
+func TestSweepGoldenJSON(t *testing.T) {
+	for _, p := range []string{"1", "8"} {
+		out := capture(t, func() error {
+			return run(context.Background(), []string{"sweep", "-json", "-parallelism", p, filepath.Join("testdata", "sweep.json")})
+		})
+		checkGolden(t, "sweep.ndjson.golden", out)
+	}
+}
+
+// TestSweepCacheDirByteIdentical: a warm re-run through -cache-dir (all
+// points answered from the manifest) emits exactly the cold run's
+// bytes — the in-process version of the CI sweep smoke job.
+func TestSweepCacheDirByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	sweepArgs := func(out string) []string {
+		return []string{"sweep", "-json", "-cache-dir", dir, "-out", out, filepath.Join("testdata", "sweep.json")}
+	}
+	cold := filepath.Join(t.TempDir(), "cold.ndjson")
+	warm := filepath.Join(t.TempDir(), "warm.ndjson")
+	if err := run(context.Background(), sweepArgs(cold)); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), sweepArgs(warm)); err != nil {
+		t.Fatal(err)
+	}
+	c, err := os.ReadFile(cold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := os.ReadFile(warm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c, w) {
+		t.Errorf("warm sweep differs from cold:\n%s\nvs\n%s", w, c)
+	}
+}
+
+// TestSweepRejectsBadFile: strict decoding surfaces the file name.
+func TestSweepRejectsBadFile(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"sweep":1,"bogus":true}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"sweep", bad})
+	if err == nil || !strings.Contains(err.Error(), "bad.json") {
+		t.Errorf("err = %v, want decode failure naming the file", err)
+	}
+}
+
 // TestExpUnknownID: the exp verb still rejects unknown ids up front.
 func TestExpUnknownID(t *testing.T) {
 	if err := run(context.Background(), []string{"exp", "e99"}); err == nil {

@@ -12,6 +12,7 @@ type Memory struct {
 	mu       sync.Mutex
 	cap      int
 	maxBytes int64
+	admit    int64      // largest admissible single payload (0 = maxBytes)
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	stats    Stats
@@ -35,12 +36,32 @@ func NewMemory(capacity int) *Memory {
 // Stats.Bytes; a single payload larger than maxBytes is declined
 // outright rather than evicting the whole cache to make room for it.
 func NewMemorySized(capacity int, maxBytes int64) *Memory {
-	return &Memory{
+	return NewMemorySizedAdmit(capacity, maxBytes, 1)
+}
+
+// NewMemorySizedAdmit is NewMemorySized with an admission policy: a
+// single payload larger than admitFrac × maxBytes is declined outright
+// instead of admitted by evicting a large slice of the tier. One
+// oversized entry can otherwise push out many small hot ones whose
+// aggregate hit value exceeds its own — the classic cache-pollution
+// trade. admitFrac is clamped to (0, 1]; values <= 0 or > 1 (and any
+// admitFrac when maxBytes is unbounded) select the plain maxBytes
+// bound. Declined payloads are counted as Puts and leave the cache,
+// including any previous value under the key, untouched.
+func NewMemorySizedAdmit(capacity int, maxBytes int64, admitFrac float64) *Memory {
+	m := &Memory{
 		cap:      capacity,
 		maxBytes: maxBytes,
 		ll:       list.New(),
 		items:    map[string]*list.Element{},
 	}
+	if maxBytes > 0 && admitFrac > 0 && admitFrac <= 1 {
+		m.admit = int64(admitFrac * float64(maxBytes))
+		if m.admit < 1 {
+			m.admit = 1
+		}
+	}
+	return m
 }
 
 // Cap returns the entry bound (0 = unbounded).
@@ -75,14 +96,19 @@ func (m *Memory) Get(key string) (any, bool) {
 
 // Put stores val under key, evicting least recently used entries until
 // both the capacity and byte bounds hold again (updates that grow an
-// entry evict too). A payload that alone exceeds the byte bound is
-// declined — the cache, including any previous value under the key,
-// stays as it is.
+// entry evict too). A payload that alone exceeds the admission limit —
+// admitFrac × maxBytes, or all of maxBytes without an admission
+// policy — is declined: the cache, including any previous value under
+// the key, stays as it is.
 func (m *Memory) Put(key string, val any) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Puts++
-	if m.maxBytes > 0 && sizeOf(val) > m.maxBytes {
+	limit := m.admit
+	if limit == 0 {
+		limit = m.maxBytes
+	}
+	if limit > 0 && sizeOf(val) > limit {
 		return
 	}
 	if el, ok := m.items[key]; ok {

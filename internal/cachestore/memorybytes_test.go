@@ -70,6 +70,71 @@ func TestMemoryByteBoundUpdateEvicts(t *testing.T) {
 	}
 }
 
+// TestMemoryAdmitFractionDeclines: with an admission policy, a payload
+// larger than admitFrac × maxBytes is declined even though it would fit
+// the byte bound, and the hot set it would have displaced survives.
+func TestMemoryAdmitFractionDeclines(t *testing.T) {
+	m := NewMemorySizedAdmit(0, 1000, 0.25)
+	for i := 0; i < 8; i++ {
+		m.Put(fmt.Sprintf("hot%d", i), make([]byte, 100))
+	}
+	m.Put("huge", make([]byte, 600)) // fits maxBytes, exceeds 0.25*1000
+	if _, ok := m.Get("huge"); ok {
+		t.Fatal("payload above the admission limit was cached")
+	}
+	for i := 0; i < 8; i++ {
+		if _, ok := m.Get(fmt.Sprintf("hot%d", i)); !ok {
+			t.Fatalf("hot%d was evicted by a declined payload", i)
+		}
+	}
+	if st := m.Stats(); st.Bytes != 800 || st.Evictions != 0 {
+		t.Fatalf("stats %+v, want 800 bytes and 0 evictions", st)
+	}
+}
+
+// TestMemoryAdmitFractionBoundary: a payload exactly at the admission
+// limit is admitted; one byte more is declined. A declined update leaves
+// the previous value under the key untouched.
+func TestMemoryAdmitFractionBoundary(t *testing.T) {
+	m := NewMemorySizedAdmit(0, 1000, 0.25)
+	m.Put("at", make([]byte, 250))
+	if v, ok := m.Get("at"); !ok || len(v.([]byte)) != 250 {
+		t.Fatal("payload at the admission limit was declined")
+	}
+	m.Put("at", make([]byte, 251)) // declined: previous value survives
+	if v, ok := m.Get("at"); !ok || len(v.([]byte)) != 250 {
+		t.Fatalf("declined update clobbered the entry: ok=%v", ok)
+	}
+}
+
+// TestMemoryAdmitFractionDegenerate: fractions outside (0, 1] and an
+// unbounded byte budget fall back to the plain maxBytes behavior.
+func TestMemoryAdmitFractionDegenerate(t *testing.T) {
+	for _, frac := range []float64{0, -1, 1.5} {
+		m := NewMemorySizedAdmit(0, 100, frac)
+		m.Put("a", make([]byte, 100))
+		if _, ok := m.Get("a"); !ok {
+			t.Fatalf("frac=%v: payload at maxBytes was declined", frac)
+		}
+		m.Put("b", make([]byte, 101))
+		if _, ok := m.Get("b"); ok {
+			t.Fatalf("frac=%v: payload above maxBytes was cached", frac)
+		}
+	}
+	// Unbounded bytes: any fraction admits everything.
+	m := NewMemorySizedAdmit(0, 0, 0.25)
+	m.Put("big", make([]byte, 1<<20))
+	if _, ok := m.Get("big"); !ok {
+		t.Fatal("unbounded cache declined a payload")
+	}
+	// Tiny budgets never round the admission limit down to zero.
+	m = NewMemorySizedAdmit(0, 2, 0.25)
+	m.Put("one", make([]byte, 1))
+	if _, ok := m.Get("one"); !ok {
+		t.Fatal("1-byte payload declined under a tiny budget")
+	}
+}
+
 // TestMemoryByteBoundKeepsNewest: the most recently used entry is never
 // evicted, even when it alone sits at the bound.
 func TestMemoryByteBoundKeepsNewest(t *testing.T) {

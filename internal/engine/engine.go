@@ -96,6 +96,20 @@ func (e *Engine) Stats() (hits, misses uint64) {
 	return st.Hits, st.Misses
 }
 
+// ReuseRatio reports the Prepare-memo reuse ratio hits/(hits+misses):
+// the fraction of prepare requests answered from memoized artefacts
+// instead of recomputing the Prepare prefix. 0 before any lookup. A
+// sweep that varies only parameters outside core.PrepareKey (bus
+// delays, memory latencies, pipeline timings) approaches 1 as the
+// point count grows.
+func (e *Engine) ReuseRatio() float64 {
+	hits, misses := e.Stats()
+	if hits+misses == 0 {
+		return 0
+	}
+	return float64(hits) / float64(hits+misses)
+}
+
 // Memo returns the memo cache backend (for stats surfaces such as the
 // analysis service's /v1/stats).
 func (e *Engine) Memo() cachestore.CacheBackend { return e.memo }

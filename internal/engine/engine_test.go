@@ -110,6 +110,18 @@ func TestMemoReuseAcrossBusSweep(t *testing.T) {
 		}
 		prev = a.WCET
 	}
+	want := float64(hits) / float64(hits+misses)
+	if got := e.ReuseRatio(); got != want {
+		t.Errorf("ReuseRatio() = %v, want %v", got, want)
+	}
+}
+
+// TestReuseRatioZeroBeforeLookups: an untouched engine reports 0, not
+// NaN.
+func TestReuseRatioZeroBeforeLookups(t *testing.T) {
+	if got := New(0).ReuseRatio(); got != 0 {
+		t.Errorf("ReuseRatio() = %v on a fresh engine, want 0", got)
+	}
 }
 
 // TestCloneIsolation: two clones of one memoized Prepare must not leak

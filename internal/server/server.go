@@ -438,9 +438,11 @@ type StatsReply struct {
 	Parallelism int `json:"parallelism"`
 	Engine      struct {
 		// MemoHits/MemoMisses are the engine's Prepare-memo counters; a
-		// warm-restart cache hit leaves both untouched.
-		MemoHits   uint64 `json:"memoHits"`
-		MemoMisses uint64 `json:"memoMisses"`
+		// warm-restart cache hit leaves both untouched. MemoReuse is the
+		// derived reuse ratio hits/(hits+misses), 0 before any lookup.
+		MemoHits   uint64  `json:"memoHits"`
+		MemoMisses uint64  `json:"memoMisses"`
+		MemoReuse  float64 `json:"memoReuse"`
 	} `json:"engine"`
 	// Cache reports the result cache (absent when caching is disabled);
 	// Memory/Disk carry per-tier detail for a two-tier cache.
@@ -493,6 +495,7 @@ func (s *Server) Stats() StatsReply {
 	}
 	reply.Parallelism = parallel.Default()
 	reply.Engine.MemoHits, reply.Engine.MemoMisses = s.cfg.Engine.Stats()
+	reply.Engine.MemoReuse = s.cfg.Engine.ReuseRatio()
 	if s.cfg.Cache != nil {
 		cs := &CacheStatsReply{Stats: s.cfg.Cache.Stats()}
 		if tt, ok := s.cfg.Cache.(*cachestore.TwoTier); ok {

@@ -8,6 +8,8 @@ package workload
 import (
 	"fmt"
 	"math/rand"
+	"slices"
+	"strings"
 
 	"paratime/internal/core"
 	"paratime/internal/flow"
@@ -289,6 +291,55 @@ func Suite() []core.Task {
 		MemCopy(32, Slot(5)),
 		CountBits(8, Slot(6)),
 	}
+}
+
+// singles maps every individually addressable benchmark to its builder.
+// The names double as the task-set vocabulary of sweep documents: a
+// sweep axis entry is either one of these, "suite", or a "+"-joined
+// combination ("fib24+crc16") placed at canonical slots in list order.
+var singles = map[string]func(at Bases) core.Task{
+	"fib24":      func(at Bases) core.Task { return Fib(24, at) },
+	"matmult4":   func(at Bases) core.Task { return MatMult(4, at) },
+	"bsort12":    func(at Bases) core.Task { return BSort(12, at) },
+	"crc16":      func(at Bases) core.Task { return CRC(16, at) },
+	"fir16x4":    func(at Bases) core.Task { return FIR(16, 4, at) },
+	"memcopy32":  func(at Bases) core.Task { return MemCopy(32, at) },
+	"countbits8": func(at Bases) core.Task { return CountBits(8, at) },
+}
+
+// SetNames returns the registered task-set vocabulary in sorted order:
+// every single benchmark name plus "suite". Composite sets are formed by
+// joining singles with "+".
+func SetNames() []string {
+	names := make([]string, 0, len(singles)+1)
+	for name := range singles {
+		names = append(names, name)
+	}
+	names = append(names, "suite")
+	slices.Sort(names)
+	return names
+}
+
+// Set resolves a named task set: "suite" for the full benchmark suite,
+// a single benchmark name ("fib24"), or a "+"-joined combination
+// ("fib24+crc16+thrash"). Tasks are materialized at canonical disjoint
+// slots in list order, so the same name always produces byte-identical
+// programs. Unknown names return an error listing the vocabulary.
+func Set(name string) ([]core.Task, error) {
+	if name == "suite" {
+		return Suite(), nil
+	}
+	parts := strings.Split(name, "+")
+	tasks := make([]core.Task, len(parts))
+	for i, part := range parts {
+		build, ok := singles[part]
+		if !ok {
+			return nil, fmt.Errorf("workload: unknown task set %q (component %q; known: %s, joined with \"+\")",
+				name, part, strings.Join(SetNames(), " "))
+		}
+		tasks[i] = build(Slot(i))
+	}
+	return tasks, nil
 }
 
 // Random returns a seeded random structured program: a loop nest of
