@@ -49,6 +49,8 @@ func buildSweepManifest(cacheDir string) (cachestore.CacheBackend, error) {
 // stream one result line per point (text, or NDJSON with -json) to
 // stdout or -out, and print the run summary — point and error counts,
 // manifest hits, Prepare-memo reuse ratio, scenarios/sec — to stderr.
+//
+//paralint:canonical NDJSON lines come from sweep.Line structs with fixed json tags; the stream is the command's pinned wire format
 func runSweep(ctx context.Context, args []string) error {
 	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
 	asJSON := fs.Bool("json", false, "emit one NDJSON line per point instead of text")

@@ -2,6 +2,7 @@ package cache
 
 import (
 	"fmt"
+	"maps"
 	"slices"
 
 	"paratime/internal/cfg"
@@ -161,6 +162,7 @@ type Result struct {
 // CountClasses tallies classifications (reporting helper).
 func (r *Result) CountClasses() map[Class]int {
 	out := map[Class]int{}
+	//paralint:unordered commutative tally; each reference increments one counter
 	for _, rc := range r.Classes {
 		out[rc.Class]++
 	}
@@ -197,6 +199,7 @@ func (res *Result) computePersistence(g *cfg.Graph, ops [][]refOp) {
 	for _, l := range g.Loops {
 		clear(marks)
 		poisoned := false
+		//paralint:unordered idempotent set-union over the loop body's slots and the poison flag
 		for _, b := range l.Blocks {
 			for _, op := range ops[int(b.ID)] {
 				switch {
@@ -334,6 +337,7 @@ func (res *Result) persistentScope(b *cfg.Block, ln LineID) *cfg.Loop {
 // requires conflictCount + shift <= ways.
 func (res *Result) Reclassify(shift map[int]int) {
 	dense := make([]int, res.Cfg.Sets)
+	//paralint:unordered scatter into a dense vector; each set index is written once
 	for s, n := range shift {
 		if s >= 0 && s < len(dense) {
 			dense[s] = n
@@ -360,10 +364,7 @@ func (res *Result) ReclassifyShift(shift []int) {
 // multi-level analyses do) keeps the pair consistent.
 func (res *Result) Clone(cac map[RefID]CAC) *Result {
 	c := *res
-	c.Classes = make(map[RefID]RefClass, len(res.Classes))
-	for k, v := range res.Classes {
-		c.Classes[k] = v
-	}
+	c.Classes = maps.Clone(res.Classes)
 	c.shift = slices.Clone(res.shift)
 	if cac != nil {
 		c.cac = cac

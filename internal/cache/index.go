@@ -61,6 +61,7 @@ func NewIndex(cfg Config, lines []LineID) *Index {
 func StreamIndex(cfg Config, sts ...*Stream) *Index {
 	var lines []LineID
 	for _, st := range sts {
+		//paralint:unordered NewIndex sorts and dedups the collected lines; collection order is invisible
 		for _, refs := range st.Refs {
 			for _, r := range refs {
 				switch {

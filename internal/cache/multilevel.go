@@ -59,6 +59,7 @@ func AnalyzeTwoLevel(g *cfg.Graph, st *Stream, l1, l2 Config) (*TwoLevelResult, 
 		return nil, err
 	}
 	cac := map[RefID]CAC{}
+	//paralint:unordered per-key transform; each reference writes its own CAC entry
 	for id, rc := range r1.Classes {
 		cac[id] = CACFromL1(rc.Class)
 	}

@@ -74,6 +74,7 @@ func findLoops(g *Graph) error {
 	}
 	// Innermost-loop membership per block: smallest loop containing it.
 	for _, l := range all { // ascending size: later assignments only by larger loops
+		//paralint:unordered first-writer-wins per block within one loop; nesting order comes from the sorted `all`
 		for _, b := range l.Blocks {
 			if b.loop == nil {
 				b.loop = l
@@ -87,7 +88,15 @@ func findLoops(g *Graph) error {
 				l.EntryEdges = append(l.EntryEdges, e)
 			}
 		}
+		// ExitEdges order is observable downstream (persistence scopes,
+		// IPET events), so iterate the body in block-ID order rather
+		// than map order.
+		body := make([]*Block, 0, len(l.Blocks))
 		for _, b := range l.Blocks {
+			body = append(body, b)
+		}
+		slices.SortFunc(body, func(a, b *Block) int { return int(a.ID) - int(b.ID) })
+		for _, b := range body {
 			for _, e := range b.Succs {
 				if !l.Contains(e.To) {
 					l.ExitEdges = append(l.ExitEdges, e)

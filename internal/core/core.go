@@ -35,24 +35,31 @@ type MemSystem struct {
 	L2 *cache.Config
 	// BusDelay is the worst-case arbitration delay added to every
 	// transaction that leaves the L1s (an arbiter bound, e.g. N·L−1 for
-	// round robin); 0 models a private path.
-	BusDelay int
+	// round robin); 0 models a private path. It only enters at
+	// ComputeWCET, so the scenario fingerprint — not PrepareKey — owns
+	// its coverage (keycover enforces both sides).
+	BusDelay int `paralint:"fingerprint"`
 	// MemLatency is the worst-case main-memory access time after the bus
-	// grant (a memory-controller bound).
-	MemLatency int
+	// grant (a memory-controller bound). Fingerprint-covered like
+	// BusDelay: it prices blocks, it never shapes Prepare artefacts.
+	MemLatency int `paralint:"fingerprint"`
 }
 
 // SystemConfig is a complete single-core analysis configuration.
 type SystemConfig struct {
-	Pipeline pipeline.Config
+	// Pipeline timing only enters at ComputeWCET (one prepared prefix
+	// serves every pipeline sweep); the scenario fingerprint owns its
+	// coverage, which keycover enforces on the spec side.
+	Pipeline pipeline.Config `paralint:"fingerprint"`
 	Mem      MemSystem
 	// Parallelism is the worker count for intra-analysis parallelism
 	// (cache and pipeline fixpoints, exploration pricing). 0 resolves to
 	// the process default (parallel.Default: PARATIME_PARALLELISM or
 	// GOMAXPROCS). It is an execution knob, not a model parameter: every
 	// result is bit-identical at any value, and it is deliberately
-	// excluded from PrepareKey and scenario fingerprints.
-	Parallelism int
+	// excluded from PrepareKey and scenario fingerprints — keycover
+	// fails the build if it ever reaches either.
+	Parallelism int `paralint:"execonly"`
 }
 
 // DefaultSystem returns the canonical small embedded configuration:

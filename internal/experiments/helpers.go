@@ -182,6 +182,7 @@ func tdmaExact(bus *arbiter.TDMA, coreID int, stages []tdmaStage) (int64, int) {
 	states := 1
 	step := func(offsets map[int64]int64, compute int64) map[int64]int64 {
 		out := map[int64]int64{}
+		//paralint:unordered max-fold per landing offset; commutative
 		for _, tmax := range offsets {
 			reqAt := tmax + compute
 			grant := bus.GrantAfter(coreID, reqAt)
@@ -197,6 +198,7 @@ func tdmaExact(bus *arbiter.TDMA, coreID int, stages []tdmaStage) (int64, int) {
 		a := step(cur, st.computeA)
 		b := step(cur, st.computeB)
 		merged := a
+		//paralint:unordered max-merge of two offset maps; commutative
 		for off, v := range b {
 			if w, ok := merged[off]; !ok || v > w {
 				merged[off] = v
@@ -206,6 +208,7 @@ func tdmaExact(bus *arbiter.TDMA, coreID int, stages []tdmaStage) (int64, int) {
 		states += len(cur)
 	}
 	var wcet int64
+	//paralint:unordered max-fold over final offsets
 	for _, v := range cur {
 		if v > wcet {
 			wcet = v

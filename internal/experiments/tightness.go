@@ -75,6 +75,8 @@ func TightnessAll() ([]TightnessEntry, error) {
 }
 
 // EncodeTightness renders entries as the committed TIGHTNESS.json form.
+//
+//paralint:canonical the committed golden encoder: fixed json tags, sorted entries, indented form pinned by TestTightnessGolden
 func EncodeTightness(entries []TightnessEntry) ([]byte, error) {
 	data, err := json.MarshalIndent(entries, "", "  ")
 	if err != nil {

@@ -391,6 +391,7 @@ func dataLines(p *isa.Program, lineBytes int) []uint32 {
 	}
 	lb := uint32(lineBytes)
 	set := map[uint32]bool{}
+	//paralint:unordered set build; each address marks one line key
 	for a := range p.Data {
 		set[a&^(lb-1)] = true
 	}

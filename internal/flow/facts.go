@@ -2,6 +2,7 @@ package flow
 
 import (
 	"fmt"
+	"maps"
 	"sort"
 	"strings"
 
@@ -68,11 +69,7 @@ func (f *Facts) Bounds() map[string]int {
 	if f == nil || len(f.bounds) == 0 {
 		return nil
 	}
-	out := make(map[string]int, len(f.bounds))
-	for l, n := range f.bounds {
-		out[l] = n
-	}
-	return out
+	return maps.Clone(f.bounds)
 }
 
 // Fingerprint returns a stable content key over the annotation set, used
@@ -116,7 +113,14 @@ func (f *Facts) Fingerprint() string {
 // instruction index). Unknown labels and labels that match no loop header
 // are errors, catching stale annotations.
 func (f *Facts) Apply(g *cfg.Graph) error {
-	for label, n := range f.bounds {
+	// Sorted labels keep the first-error choice deterministic.
+	labels := make([]string, 0, len(f.bounds))
+	for l := range f.bounds {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		n := f.bounds[label]
 		idx, ok := g.Prog.Labels[label]
 		if !ok {
 			return fmt.Errorf("flow fact: no label %q in program %q", label, g.Prog.Name)

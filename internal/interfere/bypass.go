@@ -39,6 +39,7 @@ func SingleUsageLines(a *core.Analysis) map[cache.LineID]bool {
 		}
 	}
 	out := map[cache.LineID]bool{}
+	//paralint:unordered per-key filter; each line decides its own membership
 	for ln, n := range refsPerLine {
 		if n == 1 && !inLoop[ln] {
 			out[ln] = true

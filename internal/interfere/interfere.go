@@ -119,6 +119,7 @@ func rangesOverlap(a, b *core.Analysis) bool {
 		return true
 	}
 	// Data images (word granularity, cheap scan).
+	//paralint:unordered existence check; any iteration order reaches the same verdict
 	for addr := range a.Task.Prog.Data {
 		if _, clash := b.Task.Prog.Data[addr]; clash {
 			return true

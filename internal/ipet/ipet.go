@@ -408,6 +408,7 @@ func Solve(p *Problem) (*Result, error) {
 // Skeleton.Solve consumes (block IDs equal RPO positions).
 func DenseCosts(g *cfg.Graph, cost map[cfg.BlockID]int) []int {
 	dense := make([]int, len(g.Blocks))
+	//paralint:unordered scatter into a dense vector; each block ID is written once
 	for id, c := range cost {
 		dense[id] = c
 	}

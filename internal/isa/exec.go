@@ -42,6 +42,7 @@ type State struct {
 // image loaded.
 func NewState(p *Program) *State {
 	mem := make(map[uint32]int32, len(p.Data))
+	//paralint:unordered plain copy into a fresh map; State.Mem must be non-nil even when Data is
 	for a, v := range p.Data {
 		mem[a] = v
 	}

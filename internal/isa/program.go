@@ -4,6 +4,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
+	"maps"
 	"slices"
 	"strings"
 )
@@ -133,7 +134,8 @@ func (p *Program) Validate() error {
 			}
 		}
 	}
-	for a := range p.Data {
+	// Sorted addresses keep the first-error choice deterministic.
+	for _, a := range slices.Sorted(maps.Keys(p.Data)) {
 		if a%4 != 0 {
 			return fmt.Errorf("program %q: misaligned data word at 0x%x", p.Name, a)
 		}
@@ -308,7 +310,9 @@ func (b *Builder) Done() (*Program, error) {
 	if b.err != nil {
 		return nil, b.err
 	}
-	for label, sites := range b.pending {
+	// Sorted labels keep the first-error choice deterministic.
+	for _, label := range slices.Sorted(maps.Keys(b.pending)) {
+		sites := b.pending[label]
 		if dl, ok := strings.CutPrefix(label, "data:"); ok {
 			addr, ok := b.prog.DataLabels[dl]
 			if !ok {

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	_ "embed"
+	"fmt"
+	"strings"
+)
+
+// allowNondeterm is the committed allowlist of sanctioned nondeterminism
+// sites; see ParseAllowlist for the format.
+//
+//go:embed allow_nondeterm.txt
+var allowNondeterm string
+
+// Config parameterizes the suite. The zero value is NOT usable; start
+// from DefaultConfig.
+type Config struct {
+	// NondetermAllow holds sanctioned nondeterminism sites as
+	// "<pkgpath> <func> <callee>" keys (see ParseAllowlist).
+	NondetermAllow map[string]bool
+	// GoStmtExemptPkgs lists import paths (exact match) where bare go
+	// statements are the package's whole point; internal/parallel is
+	// the only production member.
+	GoStmtExemptPkgs []string
+}
+
+// DefaultConfig returns the repo configuration: the embedded
+// allow_nondeterm.txt and the internal/parallel goroutine exemption.
+func DefaultConfig() *Config {
+	allow, err := ParseAllowlist(allowNondeterm)
+	if err != nil {
+		// The embedded file is committed alongside this code; a parse
+		// error is a build bug, surfaced loudly.
+		panic(err)
+	}
+	return &Config{
+		NondetermAllow:   allow,
+		GoStmtExemptPkgs: []string{"paratime/internal/parallel"},
+	}
+}
+
+// ParseAllowlist reads the allow_nondeterm.txt format: one site per
+// line, three whitespace-separated columns
+//
+//	<pkgpath> <enclosing-func> <callee>
+//
+// where <enclosing-func> is the name printed in diagnostics ("F",
+// "T.M", "(*T).M", or "init") and <callee> is the forbidden operation
+// ("time.Now", "os.Getenv", "rand.Intn", or "go" for a goroutine
+// launch). Anything after a '#' is a comment; blank lines are ignored.
+// Each entry should carry a trailing comment saying why the site is
+// sound.
+func ParseAllowlist(text string) (map[string]bool, error) {
+	out := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("lint: allowlist line %d: want 3 columns \"<pkgpath> <func> <callee>\", got %q", ln+1, line)
+		}
+		out[fields[0]+" "+fields[1]+" "+fields[2]] = true
+	}
+	return out, nil
+}
+
+func (c *Config) goStmtExempt(pkgPath string) bool {
+	for _, p := range c.GoStmtExemptPkgs {
+		if p == pkgPath {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `for range` over a map: Go randomizes map iteration
+// order per run, which is the classic way byte-identical output dies.
+// A loop is accepted when:
+//
+//   - it only collects keys/values into slices (append-only body — the
+//     canonical collect-then-sort idiom; the sort happens after), or
+//   - it is annotated `//paralint:unordered <why>` on its own line or
+//     the line above, asserting an order-insensitive fold (max, sum,
+//     set membership).
+//
+// Everything else must iterate sorted keys instead (slices.Sorted(
+// maps.Keys(m)) or an explicit collected-and-sorted slice).
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration that can leak nondeterministic order into results",
+	Run:  runMapIter,
+}
+
+func runMapIter(pass *Pass) (any, error) {
+	for _, file := range pass.Pkg.Files {
+		dirs := directiveLines(pass.Pkg.Fset, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if annotatedStmt(pass.Pkg.Fset, dirs, rs.Pos(), DirUnordered) {
+				return true
+			}
+			if collectOnlyBody(rs.Body) {
+				return true
+			}
+			pass.Reportf(rs.Pos(), "map iteration order is nondeterministic: sort the keys first, or annotate the loop //paralint:unordered <why> if the fold is order-insensitive")
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// collectOnlyBody reports whether every statement in the loop body is an
+// append into a slice, possibly behind an if — the first half of the
+// collect-then-sort idiom, where iteration order cannot matter because
+// nothing but the collection is touched (the sort happens after the
+// loop).
+func collectOnlyBody(body *ast.BlockStmt) bool {
+	if body == nil || len(body.List) == 0 {
+		return false
+	}
+	return collectOnlyStmts(body.List)
+}
+
+func collectOnlyStmts(stmts []ast.Stmt) bool {
+	for _, stmt := range stmts {
+		switch s := stmt.(type) {
+		case *ast.AssignStmt:
+			if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+				return false
+			}
+			call, ok := s.Rhs[0].(*ast.CallExpr)
+			if !ok {
+				return false
+			}
+			fn, ok := call.Fun.(*ast.Ident)
+			if !ok || fn.Name != "append" {
+				return false
+			}
+		case *ast.IfStmt:
+			// Guarded collection: the guard may read anything, but the
+			// branches may still only append.
+			if s.Init != nil || !collectOnlyStmts(s.Body.List) {
+				return false
+			}
+			if s.Else != nil {
+				eb, ok := s.Else.(*ast.BlockStmt)
+				if !ok || !collectOnlyStmts(eb.List) {
+					return false
+				}
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}

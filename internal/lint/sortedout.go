@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// SortedOut enforces that output reaches the wire deterministically:
+//
+//  1. encoding/json marshaling entry points (json.Marshal /
+//     MarshalIndent / NewEncoder / Encoder.Encode) may only be called
+//     from functions annotated `//paralint:canonical <why>` — the
+//     audited canonical-encoder sites. New code cannot hand-roll a JSON
+//     emission path; it must flow through (or become) a reviewed
+//     canonical site. Decoding is unrestricted.
+//  2. Nothing may be emitted to a stream from inside a `for range` over
+//     a map — not even under a //paralint:unordered annotation, because
+//     an order-insensitive *fold* is fine but an order-insensitive
+//     *emission* is a contradiction. Stream emission means the
+//     fmt.Fprint family or a Write/WriteString/WriteByte/WriteRune/
+//     Encode method on an io.Writer implementation; purely local
+//     accumulators (bytes.Buffer, strings.Builder) are exempt since
+//     their contents can still be sorted before leaving the function.
+var SortedOut = &Analyzer{
+	Name: "sortedout",
+	Doc:  "requires output to flow through canonical encoders and deterministic iteration",
+	Run:  runSortedOut,
+}
+
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"WriteRune": true, "WriteTo": true, "Encode": true,
+}
+
+// ioWriter is the io.Writer interface, built once so receiver types can
+// be tested with types.Implements without importing io's export data.
+var ioWriter = func() *types.Interface {
+	byteSlice := types.NewSlice(types.Typ[types.Byte])
+	errType := types.Universe.Lookup("error").Type()
+	params := types.NewTuple(types.NewVar(token.NoPos, nil, "p", byteSlice))
+	results := types.NewTuple(
+		types.NewVar(token.NoPos, nil, "n", types.Typ[types.Int]),
+		types.NewVar(token.NoPos, nil, "err", errType),
+	)
+	sig := types.NewSignatureType(nil, nil, nil, params, results, false)
+	fn := types.NewFunc(token.NoPos, nil, "Write", sig)
+	iface := types.NewInterfaceType([]*types.Func{fn}, nil)
+	iface.Complete()
+	return iface
+}()
+
+func runSortedOut(pass *Pass) (any, error) {
+	for _, file := range pass.Pkg.Files {
+		dirs := directiveLines(pass.Pkg.Fset, file)
+		// mapRanges tracks the bodies of active map-range loops so
+		// nested calls know they sit inside one.
+		var mapRanges []*ast.RangeStmt
+		var visit func(n ast.Node) bool
+		visit = func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.RangeStmt:
+				if t := pass.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						mapRanges = append(mapRanges, n)
+						ast.Inspect(n.Body, visit)
+						mapRanges = mapRanges[:len(mapRanges)-1]
+						// Key/value/X already type-checked; body done above.
+						return false
+					}
+				}
+			case *ast.CallExpr:
+				pass.checkSortedCall(file, dirs, n, len(mapRanges) > 0)
+			}
+			return true
+		}
+		ast.Inspect(file, visit)
+	}
+	return nil, nil
+}
+
+func (p *Pass) checkSortedCall(file *ast.File, dirs map[int]map[string]bool, call *ast.CallExpr, inMapRange bool) {
+	// Rule 1: json encode entry points need a canonical-site annotation.
+	if pkg, name, ok := calleePkgFunc(p.Pkg.Info, call); ok {
+		if pkg == "encoding/json" && (name == "Marshal" || name == "MarshalIndent" || name == "NewEncoder") {
+			fn := enclosingFuncDecl(file, call.Pos())
+			if !annotatedFunc(p.Pkg.Fset, dirs, fn, DirCanonical) {
+				p.Reportf(call.Pos(), "json.%s outside a canonical encoder site: output must flow through a function annotated //paralint:canonical <why>", name)
+			}
+		}
+		// Rule 2 for the fmt.Fprint family.
+		if inMapRange && pkg == "fmt" && fprintFuncs[name] {
+			p.Reportf(call.Pos(), "fmt.%s inside a map-range loop emits in nondeterministic order: iterate sorted keys instead", name)
+		}
+		return
+	}
+	if !inMapRange {
+		return
+	}
+	// Rule 2 for writer methods.
+	recv, name, ok := calleeMethod(p.Pkg.Info, call)
+	if !ok || !writeMethodNames[name] || recv == nil {
+		return
+	}
+	if exemptAccumulator(recv) {
+		return
+	}
+	if !types.Implements(recv, ioWriter) && !types.Implements(types.NewPointer(recv), ioWriter) {
+		return
+	}
+	p.Reportf(call.Pos(), "%s.%s inside a map-range loop emits in nondeterministic order: iterate sorted keys instead", typeString(recv), name)
+}
+
+// exemptAccumulator reports whether recv is a purely local accumulator
+// whose contents can still be ordered before emission.
+func exemptAccumulator(recv *types.Named) bool {
+	obj := recv.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}

@@ -1,0 +1,59 @@
+// Package keycoverspec models the spec and scenario sides of the
+// keycover contract: BuildSystem must assign every non-execonly
+// SystemConfig field, and every semantic Scenario field must serialize
+// into the canonical JSON that Fingerprint hashes.
+package keycoverspec
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+)
+
+type SystemConfig struct {
+	Alpha int
+	// Beta is semantic but BuildSystem below never assigns it.
+	Beta    int
+	Workers int `paralint:"execonly"`
+}
+
+type SystemSpec struct {
+	Alpha int `json:"alpha"`
+}
+
+// BuildSystem maps the schema onto the analysis configuration; spec-side
+// diagnostics anchor here.
+func BuildSystem(s SystemSpec) SystemConfig { // want `field keycoverspec.SystemConfig.Beta is never assigned by BuildSystem`
+	out := SystemConfig{}
+	out.Alpha = s.Alpha
+	return out
+}
+
+// Inner is reached through the Scenario field tree.
+type Inner struct {
+	Value int `json:"value"`
+	// hidden is invisible to encoding/json and therefore to Fingerprint.
+	hidden int // want `unexported field keycoverspec.Scenario.Inner.hidden is invisible`
+}
+
+type Scenario struct {
+	Name  string `json:"name"`
+	Inner Inner  `json:"inner"`
+	// Skipped is semantic but excluded from the encoding.
+	Skipped int `json:"-"` // want `field keycoverspec.Scenario.Skipped is json:"-"`
+	// Workers is an execution knob correctly hidden from the encoding.
+	Workers int `json:"-" paralint:"execonly"`
+	// Bad is tagged execution-only yet serialized into the fingerprint.
+	Bad int `json:"bad" paralint:"execonly"` // want `execution-only field keycoverspec.Scenario.Bad is serialized into the fingerprint`
+}
+
+//paralint:canonical fixture fingerprint encoder
+func (s *Scenario) Fingerprint() (string, error) {
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
+}
+
+var _ = Inner{}.hidden

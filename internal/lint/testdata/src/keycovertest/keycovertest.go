@@ -1,0 +1,35 @@
+// Package keycovertest models the prepare side of the keycover
+// contract: a package declaring SystemConfig and PrepareKey, with one
+// field that never reaches the key and one execution-only field that
+// illegally does.
+package keycovertest
+
+import "fmt"
+
+// CacheCfg is a same-package sub-structure; passing it wholesale to a
+// helper counts as full coverage of the field.
+type CacheCfg struct {
+	Sets int
+	Ways int
+}
+
+type SystemConfig struct {
+	L1    CacheCfg
+	Alpha int
+	// Missing is semantic but never consumed by PrepareKey.
+	Missing int // want `field keycovertest.SystemConfig.Missing never reaches PrepareKey`
+	// Sched is owed by the scenario schema, not PrepareKey.
+	Sched int `paralint:"fingerprint"`
+	// Workers is a legitimate execution knob.
+	Workers int `paralint:"execonly"`
+	// Leaky is tagged execution-only yet read by PrepareKey below.
+	Leaky int `paralint:"execonly"` // want `execution-only field keycovertest.SystemConfig.Leaky is read by PrepareKey`
+}
+
+func PrepareKey(sys SystemConfig) string {
+	return fmt.Sprintf("%d|%s|%d", sys.Alpha, cacheKey(sys.L1), sys.Leaky)
+}
+
+func cacheKey(c CacheCfg) string {
+	return fmt.Sprintf("%d/%d", c.Sets, c.Ways)
+}

@@ -1,0 +1,65 @@
+// Package mapitertest exercises the mapiter analyzer: order-sensitive
+// folds are flagged, collect-then-sort and annotated order-insensitive
+// folds are not.
+package mapitertest
+
+import "sort"
+
+// orderSensitive folds values in a way where iteration order changes the
+// result; this is the violation mapiter exists to catch.
+func orderSensitive(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		total = total*31 + v
+	}
+	return total
+}
+
+// annotatedFold is a genuine order-insensitive fold, asserted by the
+// escape hatch.
+func annotatedFold(m map[string]int) int {
+	best := 0
+	//paralint:unordered max fold; commutative
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// collectThenSort is the canonical accepted idiom: the loop only
+// collects, the sort restores determinism.
+func collectThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// guardedCollect is collect-only behind a condition; still accepted.
+func guardedCollect(m map[string]int) []string {
+	var keys []string
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mixedBody collects but also mutates other state, so it is not
+// collect-only and needs either a sort or an annotation.
+func mixedBody(m map[string]int) ([]string, int) {
+	var keys []string
+	last := 0
+	for k, v := range m { // want `map iteration order is nondeterministic`
+		keys = append(keys, k)
+		last = v
+	}
+	sort.Strings(keys)
+	return keys, last
+}

@@ -1,0 +1,41 @@
+// Package nondetermtest exercises the nondeterm analyzer: wall-clock,
+// environment and global-rand calls and bare go statements are flagged;
+// explicitly seeded generators are not; the allowlist silences exactly
+// the listed (package, function, callee) triple.
+package nondetermtest
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time.Now is nondeterministic`
+}
+
+func environment() string {
+	return os.Getenv("HOME") // want `os.Getenv is nondeterministic`
+}
+
+func globalDraw() int {
+	return rand.Intn(10) // want `rand.Intn is nondeterministic`
+}
+
+// seededDraw is deterministic: the generator is explicitly seeded, so
+// method calls on it are legal.
+func seededDraw(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+func spawn(ch chan<- int) {
+	go func() { ch <- 1 }() // want `bare go statement`
+}
+
+// allowlisted also reads the wall clock, but the test installs
+// "<pkg> allowlisted time.Now" in the allowlist, so only the calls
+// above are reported.
+func allowlisted() time.Time {
+	return time.Now()
+}

@@ -1,0 +1,75 @@
+// Package sortedouttest exercises the sortedout analyzer: JSON
+// marshaling outside a canonical site, and stream emission from inside a
+// map-range loop, are flagged; canonical sites and local accumulators
+// are not.
+package sortedouttest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func encode(v any) ([]byte, error) {
+	return json.Marshal(v) // want `json.Marshal outside a canonical encoder site`
+}
+
+// canonicalEncode is the audited encoder site for this fixture.
+//
+//paralint:canonical fixture canonical encoder
+func canonicalEncode(v any) ([]byte, error) {
+	return json.Marshal(v)
+}
+
+// emitUnsorted streams from inside a map range; the unordered annotation
+// does not excuse emission, only folds.
+func emitUnsorted(w io.Writer, m map[string]int) {
+	//paralint:unordered annotation does not excuse emission
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt.Fprintf inside a map-range loop`
+	}
+}
+
+type sink struct{}
+
+func (s *sink) Write(p []byte) (int, error) { return len(p), nil }
+
+func emitWriter(s *sink, m map[string]int) {
+	//paralint:unordered annotation does not excuse emission
+	for k := range m {
+		s.Write([]byte(k)) // want `sortedouttest.sink.Write inside a map-range loop`
+	}
+}
+
+// accumulate builds per-entry strings in local accumulators inside the
+// loop and sorts before joining; bytes.Buffer and strings.Builder are
+// exempt because their contents can still be ordered before emission.
+func accumulate(m map[string]int) string {
+	var lines []string
+	//paralint:unordered lines are sorted below
+	for k := range m {
+		var b bytes.Buffer
+		b.WriteString(k)
+		var sb strings.Builder
+		sb.WriteString(b.String())
+		lines = append(lines, sb.String())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// emitSorted is the accepted emission shape: sorted keys, plain slice
+// range.
+func emitSorted(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s=%d\n", k, m[k])
+	}
+}

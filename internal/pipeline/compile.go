@@ -55,6 +55,7 @@ func (c Config) Latencies() LatTable {
 	for cl := range lt {
 		lt[cl] = 1
 	}
+	//paralint:unordered scatter into a fixed array; each class writes its own slot
 	for cl, l := range c.ExLat {
 		if int(cl) < len(lt) && l >= 1 {
 			lt[cl] = l

@@ -180,6 +180,7 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+//paralint:canonical error bodies encode a one-field struct with a fixed json tag
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -354,6 +355,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 // Task event per task, then the terminal Report event. The bytes are
 // deterministic for a given scenario, so they are cached whole and every
 // repeat answer is byte-identical.
+//
+//paralint:canonical the NDJSON cache encoder: Event structs with fixed json tags, one canonical byte stream per scenario
 func encodeStream(u unit, rep *spec.Report) ([]byte, error) {
 	var out []byte
 	emit := func(ev Event) error {
@@ -379,6 +382,8 @@ func encodeStream(u unit, rep *spec.Report) ([]byte, error) {
 // writeAnalysisError reports a failed scenario: as a proper HTTP error
 // when nothing has streamed yet, or as a terminal Error event once the
 // NDJSON stream is underway (the status line is already on the wire).
+//
+//paralint:canonical terminal Error events use the same fixed-tag Event struct as the cached stream
 func (s *Server) writeAnalysisError(w http.ResponseWriter, wrote bool, u unit, err error) {
 	if !wrote {
 		status := http.StatusUnprocessableEntity
@@ -507,6 +512,7 @@ func (s *Server) Stats() StatsReply {
 	return reply
 }
 
+//paralint:canonical stats replies encode fixed-tag structs; counters vary by load, the encoding does not
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

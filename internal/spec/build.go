@@ -2,7 +2,9 @@ package spec
 
 import (
 	"fmt"
+	"maps"
 	"reflect"
+	"slices"
 
 	"paratime/internal/cache"
 	"paratime/internal/core"
@@ -61,6 +63,7 @@ func (t *TaskSpec) BuildTask() (core.Task, error) {
 	var facts *flow.Facts
 	if len(t.Bounds) > 0 {
 		facts = flow.NewFacts()
+		//paralint:unordered Facts stores bounds in a map keyed by label; insertion order is invisible
 		for label, n := range t.Bounds {
 			facts.Bound(label, n)
 		}
@@ -85,22 +88,13 @@ func (p *ProgramSpec) buildProgram(name string) (*isa.Program, error) {
 		}
 	}
 	if len(p.Labels) > 0 {
-		prog.Labels = make(map[string]int, len(p.Labels))
-		for l, i := range p.Labels {
-			prog.Labels[l] = i
-		}
+		prog.Labels = maps.Clone(p.Labels)
 	}
 	if len(p.Data) > 0 {
-		prog.Data = make(map[uint32]int32, len(p.Data))
-		for a, w := range p.Data {
-			prog.Data[a] = w
-		}
+		prog.Data = maps.Clone(p.Data)
 	}
 	if len(p.DataLabels) > 0 {
-		prog.DataLabels = make(map[string]uint32, len(p.DataLabels))
-		for l, a := range p.DataLabels {
-			prog.DataLabels[l] = a
-		}
+		prog.DataLabels = maps.Clone(p.DataLabels)
 	}
 	if err := prog.Validate(); err != nil {
 		return nil, fmt.Errorf("spec: task %q: %w", name, err)
@@ -141,12 +135,13 @@ func (sys SystemSpec) BuildSystem() (core.SystemConfig, error) {
 			ExLat:         map[isa.Class]int{},
 			BranchPenalty: sys.Pipeline.BranchPenalty,
 		}
-		for name, lat := range sys.Pipeline.ExLat {
+		// Sorted names keep the first-error choice deterministic.
+		for _, name := range slices.Sorted(maps.Keys(sys.Pipeline.ExLat)) {
 			cls, ok := classByName(name)
 			if !ok {
 				return core.SystemConfig{}, fmt.Errorf("spec: unknown instruction class %q", name)
 			}
-			pc.ExLat[cls] = lat
+			pc.ExLat[cls] = sys.Pipeline.ExLat[name]
 		}
 		out.Pipeline = pc
 	}
@@ -176,22 +171,13 @@ func ProgramToSpec(p *isa.Program) *ProgramSpec {
 		}
 	}
 	if len(p.Labels) > 0 {
-		out.Labels = make(map[string]int, len(p.Labels))
-		for l, i := range p.Labels {
-			out.Labels[l] = i
-		}
+		out.Labels = maps.Clone(p.Labels)
 	}
 	if len(p.Data) > 0 {
-		out.Data = make(map[uint32]int32, len(p.Data))
-		for a, w := range p.Data {
-			out.Data[a] = w
-		}
+		out.Data = maps.Clone(p.Data)
 	}
 	if len(p.DataLabels) > 0 {
-		out.DataLabels = make(map[string]uint32, len(p.DataLabels))
-		for l, a := range p.DataLabels {
-			out.DataLabels[l] = a
-		}
+		out.DataLabels = maps.Clone(p.DataLabels)
 	}
 	return out
 }
@@ -260,6 +246,7 @@ func SystemToSpec(sys core.SystemConfig, mem memctrl.Config) SystemSpec {
 	}
 	if !reflect.DeepEqual(sys.Pipeline, pipeline.DefaultConfig()) {
 		ps := &PipelineSpec{ExLat: map[string]int{}, BranchPenalty: sys.Pipeline.BranchPenalty}
+		//paralint:unordered each class writes its own ExLat key; no key is written twice
 		for name, cls := range classNames {
 			if lat, ok := sys.Pipeline.ExLat[cls]; ok {
 				ps.ExLat[name] = lat

@@ -27,6 +27,8 @@ import (
 // the fingerprint may therefore key result caches that survive process
 // restarts. Only valid scenarios have fingerprints: validation failures
 // are returned rather than hashed around.
+//
+//paralint:canonical THE canonical scenario encoding: sha256 over json.Marshal of fixed-tag spec structs; keycover audits its field coverage
 func (s *Scenario) Fingerprint() (string, error) {
 	if err := s.Validate(); err != nil {
 		return "", err

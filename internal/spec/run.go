@@ -117,6 +117,8 @@ type SimReport struct {
 }
 
 // Encode renders the report as indented JSON.
+//
+//paralint:canonical the report wire format: fixed-tag structs, ordered slices, no maps
 func (r *Report) Encode() ([]byte, error) {
 	out, err := json.MarshalIndent(r, "", "  ")
 	if err != nil {

@@ -380,6 +380,8 @@ type SimSpec struct {
 
 // Encode validates the scenario and renders it as indented JSON. The
 // encoding is canonical: Decode(Encode(s)) reproduces s exactly.
+//
+//paralint:canonical the scenario wire format; round-trip pinned by the spec tests
 func (s *Scenario) Encode() ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
@@ -456,6 +458,8 @@ func DecodeAll(data []byte) ([]*Scenario, error) {
 
 // EncodeAll renders scenarios as one JSON array (the `paratime export`
 // format), validating each.
+//
+//paralint:canonical the export wire format: a JSON array of canonical scenario encodings
 func EncodeAll(list []*Scenario) ([]byte, error) {
 	for i, s := range list {
 		if err := s.Validate(); err != nil {
@@ -496,8 +500,9 @@ func (s *Scenario) Validate() error {
 			return fmt.Errorf("spec: task %q sets bypass, which only applies in mode %q (mode is %q)",
 				t.Name, KindJoint, s.Mode.Kind)
 		}
-		for label, n := range t.Bounds {
-			if n <= 0 {
+		// Sorted labels keep the first-error choice deterministic.
+		for _, label := range sortedKeys(t.Bounds) {
+			if n := t.Bounds[label]; n <= 0 {
 				return fmt.Errorf("spec: task %q: loop bound %q = %d must be positive", t.Name, label, n)
 			}
 		}
@@ -558,7 +563,9 @@ func (sys SystemSpec) validate() error {
 		if sys.Pipeline.BranchPenalty < 0 {
 			return fmt.Errorf("spec: negative branchPenalty")
 		}
-		for cls, lat := range sys.Pipeline.ExLat {
+		// Sorted names keep the first-error choice deterministic.
+		for _, cls := range sortedKeys(sys.Pipeline.ExLat) {
+			lat := sys.Pipeline.ExLat[cls]
 			if _, ok := classByName(cls); !ok {
 				return fmt.Errorf("spec: pipeline exLat names unknown instruction class %q (known: %s)",
 					cls, knownClassNames())
@@ -841,4 +848,16 @@ func (s *Scenario) String() string {
 		sim += " +explore"
 	}
 	return fmt.Sprintf("scenario %q: %d task(s), mode %s%s", s.Name, len(s.Tasks), mode, sim)
+}
+
+// sortedKeys returns a map's string keys in sorted order, so validation
+// loops pick the same first error on every run regardless of Go's map
+// iteration order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }

@@ -296,6 +296,8 @@ func (d *SweepDoc) Validate() error {
 // validateAxisValues checks each axis's entries individually: in-range
 // values, well-formed geometries, resolvable set names, no duplicates
 // (a duplicated value would enumerate indistinguishable points).
+//
+//paralint:canonical json.Marshal is a structural equality key for duplicate detection, never emitted
 func (d *SweepDoc) validateAxisValues() error {
 	seenStr := map[string]bool{}
 	for i, name := range d.Axes.TaskSets {
@@ -358,6 +360,8 @@ func (d *SweepDoc) validateAxisValues() error {
 
 // Encode validates the document and renders it as indented JSON. The
 // encoding is canonical: DecodeSweep(d.Encode()) reproduces d exactly.
+//
+//paralint:canonical the sweep-document wire format; round-trip pinned by the sweep tests
 func (d *SweepDoc) Encode() ([]byte, error) {
 	if err := d.Validate(); err != nil {
 		return nil, err

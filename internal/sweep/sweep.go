@@ -288,6 +288,8 @@ func Run(ctx context.Context, doc *spec.SweepDoc, opt Options, emit func(Line) e
 // on a miss, manifest fill afterwards. All failure modes land in the
 // line's Error field; a cancelled context yields a line too (the
 // collector discards everything once the run is failing).
+//
+//paralint:canonical manifest payloads are canonical Report encodings keyed by scenario fingerprint; byte-compared on reuse
 func price(ctx context.Context, doc *spec.SweepDoc, idx int, eng *engine.Engine, manifest cachestore.CacheBackend) Line {
 	pt, err := doc.Point(idx)
 	if err != nil {
